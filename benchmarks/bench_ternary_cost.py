@@ -1,0 +1,61 @@
+"""Experiment E7 — ternary simulation cost scaling (paper §5.4).
+
+The paper quotes [6]: ternary simulation is O(n^2) in the number of
+gates — at most 2n sweep states with n evaluations each.  We measure
+settling time on inverter chains of growing length and check the growth
+is polynomial (time ratio bounded by ~cubic in the size ratio, allowing
+interpreter noise), not exponential.
+"""
+
+import time
+
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.sim import ternary
+
+CHAIN_SIZES = [8, 16, 32, 64]
+
+
+def inverter_chain(n: int) -> Circuit:
+    """A buffered input driving n chained inverters."""
+    c = Circuit(f"chain{n}")
+    c.add_input("A")
+    prev = "A"
+    reset = {"A": 0}
+    for i in range(n):
+        name = f"g{i}"
+        c.add_gate(name, gtype="INV", inputs=[prev])
+        reset[name] = (i + 1) % 2
+        prev = name
+    c.mark_output(prev)
+    c.set_reset(reset)
+    return c.finalize()
+
+
+@pytest.mark.parametrize("n", CHAIN_SIZES)
+def test_ternary_settle_chain(benchmark, n):
+    circuit = inverter_chain(n)
+    reset = circuit.require_reset()
+    started = circuit.apply_input_pattern(reset, 1)
+    start_ts = ternary.from_binary(started, circuit.n_signals)
+
+    result = benchmark(lambda: ternary.settle(circuit, start_ts))
+    assert ternary.is_definite(result)
+
+
+def test_growth_is_polynomial():
+    times = {}
+    for n in (16, 64):
+        circuit = inverter_chain(n)
+        started = circuit.apply_input_pattern(circuit.require_reset(), 1)
+        start_ts = ternary.from_binary(started, circuit.n_signals)
+        reps = 20
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            ternary.settle(circuit, start_ts)
+        times[n] = (time.perf_counter() - t0) / reps
+    ratio = times[64] / times[16]
+    # O(n^2) predicts ~16x; leave generous headroom for noise, but an
+    # exponential blow-up (2^48) is firmly excluded.
+    assert ratio < 200, f"settling cost ratio {ratio:.1f} looks super-polynomial"

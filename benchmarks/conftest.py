@@ -1,0 +1,51 @@
+"""Benchmark harness support.
+
+Each table bench times the full ATPG flow per circuit and accumulates a
+Table 1/2-style row; at session end the rendered tables are printed and
+written to ``benchmarks/out/*.txt`` so EXPERIMENTS.md can cite them.
+
+The random-TPG budget (one walk of one vector before deterministic
+generation takes over) is calibrated so the rnd / 3-ph / sim split is in
+the paper's regime (~45–55% random coverage) — see DESIGN.md E8.
+"""
+
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.core.atpg import AtpgEngine, AtpgOptions
+from repro.core.report import TableRow, format_table, result_row
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+#: Budget used by the table benches (paper-calibrated split).
+PAPER_BUDGET = dict(random_walks=1, walk_len=1)
+
+_tables: Dict[str, List[TableRow]] = {}
+
+
+def run_flow(circuit, seed=11):
+    """Both fault-model runs for one circuit; returns the table row."""
+    out_res = AtpgEngine(
+        circuit, AtpgOptions(fault_model="output", seed=seed, **PAPER_BUDGET)
+    ).run()
+    in_res = AtpgEngine(
+        circuit, AtpgOptions(fault_model="input", seed=seed, **PAPER_BUDGET)
+    ).run(cssg=out_res.cssg)
+    return out_res, in_res
+
+
+def record_row(table: str, row: TableRow) -> None:
+    _tables.setdefault(table, []).append(row)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def emit_tables():
+    yield
+    OUT_DIR.mkdir(exist_ok=True)
+    for name, rows in sorted(_tables.items()):
+        text = format_table(rows, title=name)
+        print("\n" + text)
+        out = OUT_DIR / f"{name.split()[0].lower().replace(':', '')}.txt"
+        out.write_text(text + "\n")

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Lint an STG specification, then independently audit a test set.
+
+Two library features a production user leans on:
+
+* :func:`repro.stg.analyse_stg` — semantic lint of a specification
+  (free-choice, environment-resolved choices, output persistency, dead
+  signals, CSC) before synthesis is attempted;
+* :func:`repro.core.audit_result` — an independent replay of every
+  generated test against the full fault universe, confirming exactly
+  which detections a synchronous tester is *guaranteed* to observe.
+
+Run:  python examples/spec_lint_and_audit.py
+"""
+
+from repro import AtpgEngine, AtpgOptions, load_benchmark, parse_stg
+from repro.core.verify import audit_result
+from repro.stg.analysis import analyse_stg
+
+BROKEN_SPEC = """
+.model broken
+.inputs a
+.outputs y z
+.graph
+p0 a+
+a+ pc
+pc y+
+pc z+
+y+ a-/1
+a-/1 y-
+y- p0
+z+ a-/2
+a-/2 z-
+z- p0
+.marking { p0 }
+.end
+"""
+
+
+def main() -> None:
+    print("=== linting a deliberately broken specification ===")
+    report = analyse_stg(parse_stg(BROKEN_SPEC))
+    print(report.summary())
+    print("(the choice between y+ and z+ is the circuit's to make —")
+    print(" no deterministic speed-independent implementation exists)\n")
+
+    print("=== linting the bundled benchmarks ===")
+    for name in ("mmu", "nowick", "master-read"):
+        from repro import load_benchmark_stg
+
+        print(analyse_stg(load_benchmark_stg(name)).summary())
+
+    print("\n=== auditing an ATPG run ===")
+    circuit = load_benchmark("mmu", style="complex")
+    result = AtpgEngine(circuit, AtpgOptions(fault_model="input", seed=6)).run()
+    print(result.summary())
+    audit = audit_result(result)
+    print(audit.summary())
+    confirmed = len(audit.detected)
+    claimed = result.n_covered
+    print(f"auditor confirms {confirmed}/{claimed} claimed detections "
+          "(exact-semantics detections beyond ternary replay are expected)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""repro — synchronous test pattern generation for asynchronous circuits.
+
+A from-scratch implementation of Roig, Cortadella, Peña and Pastor,
+"Automatic Generation of Synchronous Test Patterns for Asynchronous
+Circuits", DAC 1997.
+
+Public API quick map:
+
+* circuits — :class:`Circuit`, :func:`parse_netlist`, :func:`load_netlist`
+* faults — :class:`Fault`, :func:`fault_universe`
+* simulation — :mod:`repro.sim` (ternary + parallel fault simulation)
+* state graphs — :func:`settle_report`, :func:`build_cssg`,
+  :class:`SymbolicTcsg`
+* STGs — :func:`parse_stg`, :func:`load_stg`, :func:`build_state_graph`,
+  :func:`synthesize`
+* ATPG — :class:`AtpgEngine`, :class:`AtpgOptions`
+* benchmarks — :func:`load_benchmark`, :func:`benchmark_names`,
+  :data:`TABLE1_NAMES`, :data:`TABLE2_NAMES`
+"""
+
+from repro.circuit import (
+    Circuit,
+    Expr,
+    Fault,
+    fault_universe,
+    input_fault_universe,
+    load_netlist,
+    netlist_to_text,
+    output_fault_universe,
+    parse_expr,
+    parse_netlist,
+)
+from repro.core import (
+    AtpgEngine,
+    AtpgOptions,
+    AtpgResult,
+    Test,
+    TestSet,
+    format_table,
+    result_row,
+)
+from repro.sgraph import Cssg, SettleReport, build_cssg, settle_report
+from repro.sgraph.symbolic import SymbolicTcsg
+from repro.stg import (
+    Stg,
+    StateGraph,
+    build_state_graph,
+    check_csc,
+    load_stg,
+    parse_stg,
+    synthesize,
+)
+from repro.benchmarks_data import (
+    FIGURE_NETS,
+    TABLE1_NAMES,
+    TABLE2_NAMES,
+    benchmark_names,
+    load_benchmark,
+    load_benchmark_stg,
+    load_figure_circuit,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "Expr",
+    "Fault",
+    "fault_universe",
+    "input_fault_universe",
+    "output_fault_universe",
+    "parse_expr",
+    "parse_netlist",
+    "load_netlist",
+    "netlist_to_text",
+    "AtpgEngine",
+    "AtpgOptions",
+    "AtpgResult",
+    "Test",
+    "TestSet",
+    "format_table",
+    "result_row",
+    "Cssg",
+    "SettleReport",
+    "build_cssg",
+    "settle_report",
+    "SymbolicTcsg",
+    "Stg",
+    "StateGraph",
+    "build_state_graph",
+    "check_csc",
+    "parse_stg",
+    "load_stg",
+    "synthesize",
+    "TABLE1_NAMES",
+    "TABLE2_NAMES",
+    "FIGURE_NETS",
+    "benchmark_names",
+    "load_benchmark",
+    "load_benchmark_stg",
+    "load_figure_circuit",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""From-scratch ROBDD engine.
+
+The paper performs reachability and ATPG "by means of symbolic
+techniques ... similar to those used for synchronous finite state
+machines [10]" — i.e. BDD-based image computation.  This package provides
+the required kernel: a hash-consed reduced ordered BDD manager with ite,
+quantification, relational product and order-preserving renaming.
+"""
+
+from repro.bdd.manager import BddManager
+
+__all__ = ["BddManager"]

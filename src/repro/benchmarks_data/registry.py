@@ -1,0 +1,109 @@
+"""Benchmark registry: names, files, and loading helpers.
+
+``load_benchmark(name, style)`` parses the bundled STG and synthesizes a
+circuit with the requested back end:
+
+* ``style="complex"`` — atomic complex gates (speed-independent; the
+  Table 1 circuit class);
+* ``style="two-level"`` — structural SOP with complete-sum covers (the
+  redundant, SIS-flavoured Table 2 circuit class).
+
+Synthesized circuits are cached per (name, style) because several
+benchmarks are loaded repeatedly by tests and benches.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.parser import load_netlist
+from repro.errors import ReproError
+from repro.stg.parser import load_stg
+from repro.stg.petrinet import Stg
+from repro.stg.synthesis import synthesize
+
+_DATA_DIR = Path(__file__).resolve().parent
+
+#: Table 1 of the paper (speed-independent circuits).
+TABLE1_NAMES: Tuple[str, ...] = (
+    "alloc-outbound",
+    "atod",
+    "chu150",
+    "converta",
+    "dff",
+    "ebergen",
+    "hazard",
+    "master-read",
+    "mmu",
+    "mp-forward-pkt",
+    "nak-pa",
+    "nowick",
+    "ram-read-sbuf",
+    "rcv-setup",
+    "rpdft",
+    "sbuf-ram-write",
+    "sbuf-send-ctl",
+    "sbuf-send-pkt2",
+    "seq4",
+    "trimos-send",
+    "vbe5b",
+    "vbe6a",
+    "vbe10b",
+)
+
+#: Table 2 of the paper (hazard-free circuits with bounded delays).
+TABLE2_NAMES: Tuple[str, ...] = (
+    "chu150",
+    "converta",
+    "ebergen",
+    "hazard",
+    "nowick",
+    "rpdft",
+    "trimos-send",
+    "vbe6a",
+    "vbe10b",
+)
+
+#: Figure-1 example circuits (netlists, not STGs).
+FIGURE_NETS: Tuple[str, ...] = ("fig1a", "fig1b")
+
+
+def benchmark_names() -> List[str]:
+    """All bundled STG benchmark names."""
+    return list(TABLE1_NAMES)
+
+
+def benchmark_path(name: str) -> Path:
+    """Path of the bundled ``.g`` file for ``name``."""
+    path = _DATA_DIR / "stg" / f"{name}.g"
+    if not path.exists():
+        raise ReproError(
+            f"unknown benchmark {name!r}; available: {', '.join(TABLE1_NAMES)}"
+        )
+    return path
+
+
+@lru_cache(maxsize=None)
+def load_benchmark_stg(name: str) -> Stg:
+    """Parse the bundled STG for ``name``."""
+    return load_stg(benchmark_path(name))
+
+
+@lru_cache(maxsize=None)
+def load_benchmark(name: str, style: str = "complex") -> Circuit:
+    """Load and synthesize a bundled benchmark circuit."""
+    return synthesize(load_benchmark_stg(name), style=style)
+
+
+@lru_cache(maxsize=None)
+def load_figure_circuit(name: str) -> Circuit:
+    """Load a figure-1 reconstruction netlist (``fig1a`` or ``fig1b``)."""
+    path = _DATA_DIR / "net" / f"{name}.net"
+    if not path.exists():
+        raise ReproError(
+            f"unknown figure circuit {name!r}; available: {', '.join(FIGURE_NETS)}"
+        )
+    return load_netlist(path)

@@ -1,0 +1,44 @@
+"""Gate-level circuit model under the unbounded inertial gate-delay model.
+
+This subpackage provides:
+
+* :mod:`repro.circuit.expr` — boolean expression ASTs used as gate
+  functions, with compiled evaluators (binary, ternary, word-parallel).
+* :mod:`repro.circuit.gatelib` — a library of named gate types
+  (``AND2``, ``CELEM``, ...) that expand to expressions.
+* :mod:`repro.circuit.netlist` — the :class:`Circuit` container and
+  packed-integer state representation.
+* :mod:`repro.circuit.parser` — the textual ``.net`` format.
+* :mod:`repro.circuit.faults` — input/output stuck-at fault universes.
+"""
+
+from repro.circuit.expr import Expr, Var, Const, Not, And, Or, Xor, parse_expr
+from repro.circuit.netlist import Circuit, Gate, Signal
+from repro.circuit.parser import parse_netlist, netlist_to_text, load_netlist
+from repro.circuit.faults import (
+    Fault,
+    input_fault_universe,
+    output_fault_universe,
+    fault_universe,
+)
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "parse_expr",
+    "Circuit",
+    "Gate",
+    "Signal",
+    "parse_netlist",
+    "netlist_to_text",
+    "load_netlist",
+    "Fault",
+    "input_fault_universe",
+    "output_fault_universe",
+    "fault_universe",
+]

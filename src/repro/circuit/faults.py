@@ -1,0 +1,147 @@
+"""Stuck-at fault models (paper §1, §5, §6).
+
+Two universes:
+
+* **output stuck-at** — every gate output (including the primary-input
+  buffer gates) stuck at 0 and at 1.  Modeled by replacing the gate's
+  function with a constant; after the forced reset state settles, the
+  node holds the stuck value permanently.
+* **input stuck-at** — every gate input *pin* stuck at 0 and at 1, where a
+  pin is a (gate, source-signal) pair in the gate's support (feedback
+  inputs included).  Modeled by forcing the source value to a constant
+  inside that single gate's evaluation; other readers of the same wire
+  see the true value.  This universe subsumes the output universe on
+  single-fanout nets, matching the paper's remark that "the input
+  stuck-at fault model includes all output stuck-at faults".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.circuit.netlist import Circuit, Gate
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """A single stuck-at fault.
+
+    ``kind`` is ``"input"`` or ``"output"``.  For input faults ``gate`` is
+    the index of the affected gate's output signal and ``site`` the source
+    signal feeding the stuck pin.  For output faults ``gate == site`` is
+    the stuck signal itself.  ``value`` is the stuck constant.
+    """
+
+    kind: str
+    gate: int
+    site: int
+    value: int
+
+    def describe(self, circuit: Circuit) -> str:
+        """Human-readable fault name, e.g. ``y<-a SA0`` or ``y SA1``."""
+        if self.kind == "input":
+            return (
+                f"{circuit.signal_name(self.gate)}<-"
+                f"{circuit.signal_name(self.site)} SA{self.value}"
+            )
+        return f"{circuit.signal_name(self.site)} SA{self.value}"
+
+    def excitation_site(self) -> int:
+        """The signal whose stable value must differ from the stuck value
+        for the fault to be *excited* (paper §5.1)."""
+        return self.site
+
+
+def input_fault_universe(circuit: Circuit) -> List[Fault]:
+    """All single input stuck-at faults: two per gate input pin."""
+    faults: List[Fault] = []
+    for gate in circuit.gates:
+        for src in gate.support:
+            for value in (0, 1):
+                faults.append(Fault("input", gate.index, src, value))
+    return faults
+
+
+def output_fault_universe(circuit: Circuit) -> List[Fault]:
+    """All single output stuck-at faults: two per gate output."""
+    faults: List[Fault] = []
+    for gate in circuit.gates:
+        for value in (0, 1):
+            faults.append(Fault("output", gate.index, gate.index, value))
+    return faults
+
+
+def fault_universe(circuit: Circuit, model: str) -> List[Fault]:
+    """Universe for ``model`` in {"input", "output"}."""
+    if model == "input":
+        return input_fault_universe(circuit)
+    if model == "output":
+        return output_fault_universe(circuit)
+    raise ValueError(f"unknown fault model {model!r}")
+
+
+def gate_of(circuit: Circuit, fault: Fault) -> Optional[Gate]:
+    """The Gate object whose evaluation the fault perturbs."""
+    for gate in circuit.gates:
+        if gate.index == fault.gate:
+            return gate
+    return None
+
+
+def _substitute(expr, name: str, value: int):
+    """Replace every occurrence of Var(name) in ``expr`` by Const(value)."""
+    from repro.circuit.expr import And, Const, Not, Or, Var, Xor
+
+    if isinstance(expr, Var):
+        return Const(value) if expr.name == name else expr
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Not):
+        return Not(_substitute(expr.arg, name, value))
+    if isinstance(expr, And):
+        return And(tuple(_substitute(a, name, value) for a in expr.args))
+    if isinstance(expr, Or):
+        return Or(tuple(_substitute(a, name, value) for a in expr.args))
+    if isinstance(expr, Xor):
+        return Xor(_substitute(expr.a, name, value), _substitute(expr.b, name, value))
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def materialize_fault(circuit: Circuit, fault: Fault) -> Circuit:
+    """Build the faulty circuit as a real netlist.
+
+    * input pin fault — the faulted gate's expression reads a constant in
+      place of the stuck source signal;
+    * output fault — the gate's function becomes the constant, and the
+      reset state pre-sets the node to its stuck value (the node never
+      held the fault-free reset value).
+
+    The signal order, outputs and ``k`` are preserved, so states of the
+    two circuits are directly comparable.  This enables *exact* faulty-
+    machine simulation with the same settling explorer used for the good
+    circuit, avoiding the conservatism of ternary simulation.
+    """
+    from repro._bits import bit
+    from repro.circuit.expr import Const
+
+    faulty = Circuit(f"{circuit.name}#{fault.kind}-{fault.gate}-{fault.site}-{fault.value}")
+    for name in circuit.input_names:
+        faulty.add_input(name)
+    for gate in circuit.gates:
+        if fault.kind == "output" and gate.index == fault.gate:
+            faulty.add_gate(gate.name, expr=Const(fault.value))
+        elif fault.kind == "input" and gate.index == fault.gate:
+            site_name = circuit.signal_name(fault.site)
+            faulty.add_gate(gate.name, expr=_substitute(gate.expr, site_name, fault.value))
+        else:
+            faulty.add_gate(gate.name, expr=gate.expr)
+    for name in circuit.output_names:
+        faulty.mark_output(name)
+    if circuit.reset_state is not None:
+        reset = {s.name: bit(circuit.reset_state, s.index) for s in circuit.signals}
+        if fault.kind == "output":
+            reset[circuit.signal_name(fault.site)] = fault.value
+        faulty.set_reset(reset)
+    faulty.set_k(circuit.k)
+    return faulty.finalize()

@@ -1,0 +1,184 @@
+"""Named gate types used by netlists and the synthesizer.
+
+Each gate type is a function from ``(output_name, input_names)`` to an
+:class:`~repro.circuit.expr.Expr`.  Sequential elements (the Muller
+C-element, set/reset dominant latches) reference their own output name —
+the unbounded-delay model treats feedback like any other wire.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.circuit.expr import And, Const, Expr, Not, Or, Var, Xor, and_all, or_all
+from repro.errors import NetlistError
+
+GateBuilder = Callable[[str, Sequence[str]], Expr]
+
+
+def _vars(names: Sequence[str]) -> List[Expr]:
+    return [Var(n) for n in names]
+
+
+def _need(n, names, gtype):
+    if len(names) != n:
+        raise NetlistError(f"gate type {gtype} expects {n} inputs, got {len(names)}")
+
+
+def _buf(out, ins):
+    _need(1, ins, "BUF")
+    return Var(ins[0])
+
+
+def _inv(out, ins):
+    _need(1, ins, "INV")
+    return Not(Var(ins[0]))
+
+
+def _and(out, ins):
+    if len(ins) < 2:
+        raise NetlistError("AND expects >= 2 inputs")
+    return and_all(_vars(ins))
+
+
+def _or(out, ins):
+    if len(ins) < 2:
+        raise NetlistError("OR expects >= 2 inputs")
+    return or_all(_vars(ins))
+
+
+def _nand(out, ins):
+    return Not(_and(out, ins))
+
+
+def _nor(out, ins):
+    return Not(_or(out, ins))
+
+
+def _xor(out, ins):
+    _need(2, ins, "XOR2")
+    return Xor(Var(ins[0]), Var(ins[1]))
+
+
+def _xnor(out, ins):
+    _need(2, ins, "XNOR2")
+    return Not(Xor(Var(ins[0]), Var(ins[1])))
+
+
+def _mux(out, ins):
+    # MUX21 s a b = s ? a : b
+    _need(3, ins, "MUX21")
+    s, a, b = _vars(ins)
+    return Or((And((s, a)), And((Not(s), b))))
+
+
+def _aoi21(out, ins):
+    _need(3, ins, "AOI21")
+    a, b, c = _vars(ins)
+    return Not(Or((And((a, b)), c)))
+
+
+def _oai21(out, ins):
+    _need(3, ins, "OAI21")
+    a, b, c = _vars(ins)
+    return Not(And((Or((a, b)), c)))
+
+
+def _maj3(out, ins):
+    _need(3, ins, "MAJ3")
+    a, b, c = _vars(ins)
+    return Or((And((a, b)), And((a, c)), And((b, c))))
+
+
+def _celem(out, ins):
+    """Muller C-element: output rises when all inputs are 1, falls when
+    all are 0, holds otherwise.  ``c' = ab...  +  c (a + b + ...)``."""
+    if len(ins) < 2:
+        raise NetlistError("CELEM expects >= 2 inputs")
+    terms = _vars(ins)
+    fb = Var(out)
+    return Or((and_all(terms), And((fb, or_all(terms)))))
+
+
+def _celem_inv(out, ins):
+    """C-element with the *last* input inverted (a common gC fragment):
+    set network is ``a & ... & ~r``, reset network is ``~a & ... & r``."""
+    if len(ins) < 2:
+        raise NetlistError("CELEMN expects >= 2 inputs")
+    pos = _vars(ins[:-1])
+    neg = Not(Var(ins[-1]))
+    terms = pos + [neg]
+    fb = Var(out)
+    return Or((and_all(terms), And((fb, or_all(terms)))))
+
+
+def _srff(out, ins):
+    """Set/reset element with set dominance: ``q' = s + q & ~r``."""
+    _need(2, ins, "SR")
+    s, r = _vars(ins)
+    return Or((s, And((Var(out), Not(r)))))
+
+
+def _const0(out, ins):
+    _need(0, ins, "ZERO")
+    return Const(0)
+
+
+def _const1(out, ins):
+    _need(0, ins, "ONE")
+    return Const(1)
+
+
+GATE_TYPES: Dict[str, GateBuilder] = {
+    "BUF": _buf,
+    "INV": _inv,
+    "NOT": _inv,
+    "AND": _and,
+    "AND2": _and,
+    "AND3": _and,
+    "AND4": _and,
+    "OR": _or,
+    "OR2": _or,
+    "OR3": _or,
+    "OR4": _or,
+    "NAND": _nand,
+    "NAND2": _nand,
+    "NAND3": _nand,
+    "NOR": _nor,
+    "NOR2": _nor,
+    "NOR3": _nor,
+    "XOR2": _xor,
+    "XOR": _xor,
+    "XNOR2": _xnor,
+    "XNOR": _xnor,
+    "MUX21": _mux,
+    "AOI21": _aoi21,
+    "OAI21": _oai21,
+    "MAJ3": _maj3,
+    "C": _celem,
+    "CELEM": _celem,
+    "CELEMN": _celem_inv,
+    "SR": _srff,
+    "ZERO": _const0,
+    "ONE": _const1,
+}
+
+_SIZED = {"AND2": 2, "AND3": 3, "AND4": 4, "OR2": 2, "OR3": 3, "OR4": 4,
+          "NAND2": 2, "NAND3": 3, "NOR2": 2, "NOR3": 3}
+
+
+def build_gate_expr(gtype: str, output: str, inputs: Sequence[str]) -> Expr:
+    """Expand a named gate type into its expression.
+
+    Raises :class:`NetlistError` for unknown types or arity mismatches.
+    """
+    gtype = gtype.upper()
+    builder = GATE_TYPES.get(gtype)
+    if builder is None:
+        raise NetlistError(f"unknown gate type {gtype!r}")
+    expected = _SIZED.get(gtype)
+    if expected is not None and len(inputs) != expected:
+        raise NetlistError(
+            f"gate type {gtype} expects {expected} inputs, got {len(inputs)}"
+        )
+    return builder(output, inputs)

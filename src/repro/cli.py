@@ -1,0 +1,113 @@
+"""Command line interface: ``repro-atpg`` (or ``python -m repro.cli``).
+
+Examples::
+
+    repro-atpg --list                    # show bundled benchmarks
+    repro-atpg ebergen                   # ATPG on a bundled benchmark
+    repro-atpg ebergen --style two-level --model output
+    repro-atpg path/to/circuit.net --show-tests
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.benchmarks_data import TABLE1_NAMES, benchmark_names, load_benchmark
+from repro.circuit.parser import load_netlist
+from repro.core.atpg import AtpgEngine, AtpgOptions
+from repro.errors import ReproError
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-atpg",
+        description="Synchronous ATPG for asynchronous circuits (DAC'97).",
+    )
+    parser.add_argument(
+        "circuit",
+        nargs="?",
+        help="bundled benchmark name or path to a .net netlist",
+    )
+    parser.add_argument("--list", action="store_true", help="list bundled benchmarks")
+    parser.add_argument(
+        "--style",
+        default="complex",
+        choices=["complex", "two-level"],
+        help="synthesis back end for bundled STG benchmarks",
+    )
+    parser.add_argument(
+        "--model",
+        default="input",
+        choices=["input", "output"],
+        help="stuck-at fault model",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random TPG seed")
+    parser.add_argument("--k", type=int, default=None, help="test-cycle bound k")
+    parser.add_argument(
+        "--cssg-method",
+        default="auto",
+        choices=["auto", "exact", "ternary"],
+        help="CSSG vector-validity analysis",
+    )
+    parser.add_argument(
+        "--no-random", action="store_true", help="skip the random TPG step"
+    )
+    parser.add_argument(
+        "--show-tests", action="store_true", help="print every generated sequence"
+    )
+    parser.add_argument(
+        "--show-undetected", action="store_true", help="print undetected faults"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if args.list:
+        for name in benchmark_names():
+            print(name)
+        return 0
+    if not args.circuit:
+        print("error: give a benchmark name or .net path (or --list)", file=sys.stderr)
+        return 2
+    try:
+        if args.circuit in TABLE1_NAMES:
+            circuit = load_benchmark(args.circuit, style=args.style)
+        else:
+            path = Path(args.circuit)
+            if not path.exists():
+                print(
+                    f"error: {args.circuit!r} is neither a bundled benchmark "
+                    "nor an existing file",
+                    file=sys.stderr,
+                )
+                return 2
+            circuit = load_netlist(path)
+        options = AtpgOptions(
+            fault_model=args.model,
+            seed=args.seed,
+            k=args.k,
+            cssg_method=args.cssg_method,
+            use_random_tpg=not args.no_random,
+        )
+        result = AtpgEngine(circuit, options).run()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(result.summary())
+    if args.show_tests:
+        for i, test in enumerate(result.tests):
+            patterns = " ".join(test.format_patterns(circuit)) or "(observe reset)"
+            names = ", ".join(f.describe(circuit) for f in test.faults)
+            print(f"  test {i} [{test.source}]: {patterns}  -> {names}")
+    if args.show_undetected:
+        for fault in result.undetected_faults():
+            status = result.statuses[fault].status
+            print(f"  undetected [{status}]: {fault.describe(circuit)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""The paper's ATPG flow (§5).
+
+Pipeline implemented by :class:`repro.core.atpg.AtpgEngine`:
+
+1. build the CSSG (synchronous abstraction, §4);
+2. **random TPG** on the CSSG with parallel-ternary fault simulation to
+   cheaply cover a large fraction of faults (§5.4);
+3. **3-phase deterministic ATPG** per remaining fault — fault activation,
+   state justification, state differentiation (§5.1–5.3);
+4. **fault simulation** of every generated sequence against the still
+   undetected faults (§5.4).
+"""
+
+from repro.core.sequences import Test, TestSet
+from repro.core.atpg import AtpgEngine, AtpgOptions, AtpgResult, FaultStatus
+from repro.core.random_tpg import random_tpg
+from repro.core.three_phase import ThreePhaseGenerator, GenerationOutcome
+from repro.core.report import format_table, result_row
+from repro.core.verify import VerificationReport, audit_result, verify_test_set
+from repro.core.compact import compact_test_set
+from repro.core.collapse import collapse_faults
+
+__all__ = [
+    "Test",
+    "TestSet",
+    "AtpgEngine",
+    "AtpgOptions",
+    "AtpgResult",
+    "FaultStatus",
+    "random_tpg",
+    "ThreePhaseGenerator",
+    "GenerationOutcome",
+    "format_table",
+    "result_row",
+    "VerificationReport",
+    "audit_result",
+    "verify_test_set",
+    "compact_test_set",
+    "collapse_faults",
+]

@@ -1,0 +1,281 @@
+"""Top-level ATPG engine: the paper's complete flow (§2 overview).
+
+``AtpgEngine(circuit).run()`` performs:
+
+1. CSSG construction (synchronous abstraction, §4);
+2. random TPG with parallel-ternary fault simulation (§5.4);
+3. per-fault 3-phase deterministic generation (§5.1–5.3);
+4. fault simulation of each deterministic test against the remaining
+   faults (§5.4), crediting extra detections to the "sim" column.
+
+The result mirrors one row of the paper's Tables 1/2: total and covered
+fault counts plus the rnd / 3-ph / sim split and CPU time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.faults import Fault, fault_universe
+from repro.circuit.netlist import Circuit
+from repro.core.random_tpg import random_tpg
+from repro.core.sequences import Test, TestSet
+from repro.core.three_phase import (
+    ABORTED,
+    DETECTED,
+    UNDETECTABLE,
+    GenerationOutcome,
+    ThreePhaseGenerator,
+)
+from repro.sgraph.cssg import Cssg, build_cssg
+from repro.sim.batch import FaultBatch
+
+
+@dataclass
+class AtpgOptions:
+    """Tuning knobs for the full flow (paper defaults where stated)."""
+
+    fault_model: str = "input"  # "input" or "output" stuck-at
+    k: Optional[int] = None  # test-cycle transition bound (None: circuit.k)
+    max_input_changes: Optional[int] = None  # None = any subset may switch
+    # CSSG validity analysis: "exact" (formal TCR_k, exponential),
+    # "ternary" (GMW/Eichelberger, polynomial), "hybrid" (union of both
+    # sound acceptances), or "auto" (hybrid for small circuits, ternary
+    # beyond `auto_exact_limit` signals).
+    cssg_method: str = "auto"
+    auto_exact_limit: int = 20
+    random_walks: int = 16
+    walk_len: int = 64
+    seed: int = 0
+    use_random_tpg: bool = True
+    use_fault_sim: bool = True
+    max_product_states: int = 200_000
+    max_activation_tries: int = 8
+    # Faulty-machine semantics for the 3-phase generator: "exact" tracks
+    # the set of possible stable states of the materialized faulty
+    # netlist (recovers tests ternary conservatism would miss and makes
+    # "undetectable" verdicts exact); "ternary" is the paper's original
+    # machinery.  Exact falls back to ternary per fault when analysis
+    # caps are hit.
+    faulty_semantics: str = "exact"
+    # Structural fault collapsing: run the flow on one representative
+    # per same-gate equivalence class and copy verdicts to the class.
+    # Lossless for coverage; reduces per-fault work.
+    collapse: bool = False
+
+
+@dataclass
+class FaultStatus:
+    """Final classification of one fault."""
+
+    fault: Fault
+    status: str  # "detected" / "undetectable" / "aborted"
+    phase: str = ""  # "rnd" / "3-ph" / "sim" when detected
+    test_index: Optional[int] = None
+
+
+@dataclass
+class AtpgResult:
+    """Everything one Table 1/2 row needs, plus the tests themselves."""
+
+    circuit: Circuit
+    options: AtpgOptions
+    cssg: Cssg
+    faults: List[Fault]
+    statuses: Dict[Fault, FaultStatus]
+    tests: TestSet
+    cpu_seconds: float
+    n_random: int = 0
+    n_three_phase: int = 0
+    n_fault_sim: int = 0
+    n_undetectable: int = 0
+    n_aborted: int = 0
+
+    @property
+    def n_total(self) -> int:
+        return len(self.faults)
+
+    @property
+    def n_covered(self) -> int:
+        return self.n_random + self.n_three_phase + self.n_fault_sim
+
+    @property
+    def coverage(self) -> float:
+        return self.n_covered / self.n_total if self.faults else 1.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.circuit.name}: {self.n_covered}/{self.n_total} "
+            f"{self.options.fault_model}-stuck-at faults covered "
+            f"({100.0 * self.coverage:.2f}%) — rnd {self.n_random}, "
+            f"3-ph {self.n_three_phase}, sim {self.n_fault_sim}, "
+            f"undetectable {self.n_undetectable}, aborted {self.n_aborted}; "
+            f"CSSG {self.cssg.n_states} states / {self.cssg.n_edges} edges; "
+            f"{self.cpu_seconds:.2f}s"
+        )
+
+    def undetected_faults(self) -> List[Fault]:
+        return [f for f in self.faults if self.statuses[f].status != DETECTED]
+
+
+class AtpgEngine:
+    """Run the complete flow on one circuit."""
+
+    def __init__(self, circuit: Circuit, options: Optional[AtpgOptions] = None):
+        self.circuit = circuit
+        self.options = options or AtpgOptions()
+
+    def run(
+        self,
+        faults: Optional[Sequence[Fault]] = None,
+        cssg: Optional[Cssg] = None,
+    ) -> AtpgResult:
+        opts = self.options
+        start = time.perf_counter()
+        if cssg is None:
+            method = opts.cssg_method
+            if method == "auto":
+                method = (
+                    "hybrid"
+                    if self.circuit.n_signals <= opts.auto_exact_limit
+                    else "ternary"
+                )
+            cssg = build_cssg(
+                self.circuit,
+                k=opts.k,
+                max_input_changes=opts.max_input_changes,
+                method=method,
+            )
+        if faults is None:
+            faults = fault_universe(self.circuit, opts.fault_model)
+        faults = list(faults)
+        representative_of: Dict[Fault, Fault] = {f: f for f in faults}
+        work_list = faults
+        if opts.collapse:
+            from repro.core.collapse import collapse_faults
+
+            work_list, representative_of = collapse_faults(self.circuit, faults)
+        statuses: Dict[Fault, FaultStatus] = {}
+        tests = TestSet(self.circuit)
+
+        # -- step 2: random TPG ------------------------------------------
+        n_random = 0
+        if opts.use_random_tpg and work_list:
+            detected_by, random_tests = random_tpg(
+                cssg,
+                work_list,
+                n_walks=opts.random_walks,
+                walk_len=opts.walk_len,
+                seed=opts.seed,
+            )
+            for test in random_tests:
+                test_index = len(tests.tests)
+                tests.add(test)
+                for fault in test.faults:
+                    statuses[fault] = FaultStatus(fault, DETECTED, "rnd", test_index)
+            n_random = len(detected_by)
+
+        # -- step 3: 3-phase + step 4: fault simulation -------------------
+        generator = ThreePhaseGenerator(
+            cssg,
+            opts.max_product_states,
+            faulty_semantics=opts.faulty_semantics,
+        )
+        n_three_phase = 0
+        n_fault_sim = 0
+        n_undetectable = 0
+        n_aborted = 0
+        remaining = [f for f in work_list if f not in statuses]
+        for fault in remaining:
+            if fault in statuses:  # picked up by a previous fault's test
+                continue
+            outcome = generator.generate(fault, opts.max_activation_tries)
+            if outcome.status == DETECTED:
+                n_three_phase += 1
+                test = Test(outcome.patterns, [fault], source="3-phase")
+                test_index = len(tests.tests)
+                tests.add(test)
+                statuses[fault] = FaultStatus(fault, DETECTED, "3-ph", test_index)
+                if opts.use_fault_sim:
+                    others = [
+                        f for f in remaining if f not in statuses and f is not fault
+                    ]
+                    extra = _fault_simulate(cssg, others, outcome.patterns)
+                    for f in extra:
+                        statuses[f] = FaultStatus(f, DETECTED, "sim", test_index)
+                        test.faults.append(f)
+                        n_fault_sim += 1
+            elif outcome.status == UNDETECTABLE:
+                statuses[fault] = FaultStatus(fault, UNDETECTABLE)
+                n_undetectable += 1
+            else:
+                statuses[fault] = FaultStatus(fault, ABORTED)
+                n_aborted += 1
+
+        # Expand collapsed equivalence classes: members inherit their
+        # representative's verdict and test (identical faulty circuits).
+        if opts.collapse:
+            for fault in faults:
+                if fault in statuses:
+                    continue
+                rep_status = statuses[representative_of[fault]]
+                statuses[fault] = FaultStatus(
+                    fault, rep_status.status, rep_status.phase, rep_status.test_index
+                )
+                if (
+                    rep_status.status == DETECTED
+                    and rep_status.test_index is not None
+                ):
+                    tests.tests[rep_status.test_index].faults.append(fault)
+            # Recompute the per-phase split over the full universe.
+            n_random = sum(1 for s in statuses.values() if s.phase == "rnd")
+            n_three_phase = sum(1 for s in statuses.values() if s.phase == "3-ph")
+            n_fault_sim = sum(1 for s in statuses.values() if s.phase == "sim")
+            n_undetectable = sum(
+                1 for s in statuses.values() if s.status == UNDETECTABLE
+            )
+            n_aborted = sum(1 for s in statuses.values() if s.status == ABORTED)
+
+        cpu = time.perf_counter() - start
+        return AtpgResult(
+            circuit=self.circuit,
+            options=opts,
+            cssg=cssg,
+            faults=faults,
+            statuses=statuses,
+            tests=tests,
+            cpu_seconds=cpu,
+            n_random=n_random,
+            n_three_phase=n_three_phase,
+            n_fault_sim=n_fault_sim,
+            n_undetectable=n_undetectable,
+            n_aborted=n_aborted,
+        )
+
+
+def _fault_simulate(
+    cssg: Cssg, faults: Sequence[Fault], patterns: Sequence[int]
+) -> List[Fault]:
+    """Parallel-ternary simulation of one test over many faults (§5.4).
+
+    Returns the subset of ``faults`` the sequence definitely detects.
+    The conservativeness of ternary simulation may miss detections; the
+    paper accepts this because missed faults still get their own 3-phase
+    run later (§5.4, last paragraph).
+    """
+    if not faults:
+        return []
+    batch = FaultBatch(cssg.circuit, faults)
+    state = batch.reset_and_settle(cssg.reset)
+    good = cssg.reset
+    detected = batch.observe(state, good)
+    for pattern in patterns:
+        nxt = cssg.successor(good, pattern)
+        if nxt is None:
+            break
+        good = nxt
+        state = batch.apply(state, pattern)
+        detected |= batch.observe(state, good)
+    return [f for j, f in enumerate(faults) if (detected >> j) & 1]

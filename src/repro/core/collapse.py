@@ -1,0 +1,87 @@
+"""Structural fault collapsing.
+
+Classic ATPG front-end step: faults whose faulty circuits are *identical*
+need only one test.  Two faults collapse when they perturb the same gate
+and the perturbed gate functions are equal:
+
+* an input pin stuck-at turns gate function ``F`` into the cofactor
+  ``F[site := v]``;
+* an output stuck-at turns it into the constant ``v``.
+
+Equality is decided by truth-table comparison over the gate's support
+(complex gates here have small support, so this is exact and cheap).
+Because equivalent faults yield bit-identical faulty netlists, running
+ATPG on one representative per class and copying its verdict to the
+class is *lossless* — coverage numbers over the full universe are
+unchanged, only the per-fault work shrinks.  The classic examples fall
+out automatically: every AND input SA0 ≡ the output SA0, every inverter
+input SA-v ≡ output SA-(1-v), buffer chains collapse end to end.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+from repro._bits import set_bit
+from repro.circuit.expr import eval_binary
+from repro.circuit.faults import Fault
+from repro.circuit.netlist import Circuit, Gate
+
+
+def _faulty_table(circuit: Circuit, gate: Gate, fault: Fault) -> Tuple[int, ...]:
+    """Truth table of the gate's faulty function over its support."""
+    support = gate.support
+    rows = []
+    for assignment in range(1 << len(support)):
+        state = 0
+        for j, sig in enumerate(support):
+            state = set_bit(state, sig, (assignment >> j) & 1)
+        if fault.kind == "output":
+            rows.append(fault.value)
+        else:
+            state = set_bit(state, fault.site, fault.value)
+            rows.append(eval_binary(gate.program, state))
+    return tuple(rows)
+
+
+def collapse_faults(
+    circuit: Circuit, faults: Sequence[Fault]
+) -> Tuple[List[Fault], Dict[Fault, Fault]]:
+    """Partition ``faults`` into equivalence classes.
+
+    Returns ``(representatives, representative_of)`` where
+    ``representative_of[f]`` maps every fault to its class
+    representative (representatives map to themselves).  Faults on
+    different gates are never merged — only same-gate functional
+    equivalence is structural and therefore sound without further
+    analysis.
+    """
+    gate_by_index = {g.index: g for g in circuit.gates}
+    representative_of: Dict[Fault, Fault] = {}
+    representatives: List[Fault] = []
+    # Group by gate, then by faulty truth table.
+    by_signature: Dict[Tuple[int, Tuple[int, ...]], Fault] = {}
+    for fault in faults:
+        gate = gate_by_index.get(fault.gate)
+        if gate is None:
+            # Fault on a signal with no gate (defensive): its own class.
+            representative_of[fault] = fault
+            representatives.append(fault)
+            continue
+        signature = (gate.index, _faulty_table(circuit, gate, fault))
+        rep = by_signature.get(signature)
+        if rep is None:
+            by_signature[signature] = fault
+            representative_of[fault] = fault
+            representatives.append(fault)
+        else:
+            representative_of[fault] = rep
+    return representatives, representative_of
+
+
+def collapse_ratio(n_total: int, n_representatives: int) -> float:
+    """Fraction of per-fault work saved by collapsing."""
+    if n_total == 0:
+        return 0.0
+    return 1.0 - n_representatives / n_total

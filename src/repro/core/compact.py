@@ -1,0 +1,95 @@
+"""Static test-set compaction.
+
+The flow accumulates tests greedily (random walks first, then one test
+per 3-phase target), so the final set usually contains tests whose every
+detection is also achieved by others.  Classic static compaction fixes
+that after the fact:
+
+1. re-grade every test against the full fault list with the parallel
+   ternary simulator (the auditor's ground truth, so compaction never
+   relies on the generator's bookkeeping);
+2. keep essential tests (sole detector of some fault);
+3. greedily cover the remaining faults, largest contribution first;
+4. drop everything else.
+
+Compaction is *guaranteed-coverage preserving*: every fault any kept
+grading detected is still detected.  Faults only the exact-semantics
+3-phase generator could certify (ternary replay shows Φ) keep their
+original dedicated test — they are treated as essential.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.circuit.faults import Fault
+from repro.core.sequences import Test, TestSet
+from repro.core.verify import verify_test_set
+from repro.sgraph.cssg import Cssg
+
+
+def compact_test_set(
+    cssg: Cssg,
+    tests: Sequence[Test],
+    faults: Sequence[Fault],
+) -> Tuple[TestSet, Dict[str, int]]:
+    """Return (compacted set, stats).
+
+    Stats keys: ``n_before``/``n_after`` (test counts),
+    ``vectors_before``/``vectors_after``, ``n_essential``.
+    """
+    tests = list(tests)
+    report = verify_test_set(cssg, tests, faults)
+    per_test: List[Set[Fault]] = [set(s) for s in report.per_test]
+
+    # Faults certified only by exact semantics (empty ternary grading
+    # everywhere) pin their original test as essential.
+    claimed: Dict[int, Set[Fault]] = {i: set() for i in range(len(tests))}
+    for i, test in enumerate(tests):
+        for fault in test.faults:
+            if not any(fault in hits for hits in per_test):
+                claimed[i].add(fault)
+
+    target: Set[Fault] = set().union(*per_test) if per_test else set()
+    chosen: List[int] = []
+    covered: Set[Fault] = set()
+
+    # Essential tests: sole ternary detector of some fault, or carrier of
+    # an exact-only certification.
+    for fault in sorted(target):
+        owners = [i for i, hits in enumerate(per_test) if fault in hits]
+        if len(owners) == 1 and owners[0] not in chosen:
+            chosen.append(owners[0])
+            covered |= per_test[owners[0]]
+    for i, extra in claimed.items():
+        if extra and i not in chosen:
+            chosen.append(i)
+            covered |= per_test[i]
+    n_essential = len(chosen)
+
+    remaining = target - covered
+    pool = [i for i in range(len(tests)) if i not in chosen]
+    while remaining:
+        best = max(pool, key=lambda i: (len(per_test[i] & remaining), -len(tests[i])))
+        gain = per_test[best] & remaining
+        if not gain:
+            break  # ternary-undetectable leftovers: nothing more to do
+        chosen.append(best)
+        covered |= gain
+        remaining -= gain
+        pool.remove(best)
+
+    chosen.sort()
+    compacted = TestSet(cssg.circuit)
+    for i in chosen:
+        kept = Test(tests[i].patterns, sorted(per_test[i] | claimed[i]),
+                    source=tests[i].source)
+        compacted.add(kept)
+    stats = {
+        "n_before": len(tests),
+        "n_after": len(compacted.tests),
+        "vectors_before": sum(len(t) for t in tests),
+        "vectors_after": compacted.n_vectors,
+        "n_essential": n_essential,
+    }
+    return compacted, stats

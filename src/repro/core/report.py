@@ -1,0 +1,82 @@
+"""Result tables in the layout of the paper's Tables 1 and 2.
+
+Each row: benchmark name, output stuck-at tot/cov, input stuck-at
+tot/cov, then the input-model detections split into the random ("rnd"),
+3-phase ("3-ph") and fault-simulation ("sim") steps, and CPU seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.atpg import AtpgResult
+
+
+@dataclass
+class TableRow:
+    """One benchmark line of a Table 1/2-style report."""
+
+    name: str
+    out_tot: int
+    out_cov: int
+    in_tot: int
+    in_cov: int
+    rnd: int
+    three_ph: int
+    sim: int
+    cpu: float
+
+    @property
+    def out_fc(self) -> float:
+        return self.out_cov / self.out_tot if self.out_tot else 1.0
+
+    @property
+    def in_fc(self) -> float:
+        return self.in_cov / self.in_tot if self.in_tot else 1.0
+
+
+def result_row(
+    name: str, output_result: Optional[AtpgResult], input_result: AtpgResult
+) -> TableRow:
+    """Combine the two fault-model runs of one benchmark into a row."""
+    return TableRow(
+        name=name,
+        out_tot=output_result.n_total if output_result else 0,
+        out_cov=output_result.n_covered if output_result else 0,
+        in_tot=input_result.n_total,
+        in_cov=input_result.n_covered,
+        rnd=input_result.n_random,
+        three_ph=input_result.n_three_phase,
+        sim=input_result.n_fault_sim,
+        cpu=(input_result.cpu_seconds
+             + (output_result.cpu_seconds if output_result else 0.0)),
+    )
+
+
+def format_table(rows: Sequence[TableRow], title: str = "") -> str:
+    """Render rows in the paper's column layout, plus total FC lines."""
+    header = (
+        f"{'example':<18} {'o-tot':>6} {'o-cov':>6} {'i-tot':>6} {'i-cov':>6} "
+        f"{'rnd':>5} {'3-ph':>5} {'sim':>4} {'CPU(s)':>8}"
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        lines.append(
+            f"{r.name:<18} {r.out_tot:>6} {r.out_cov:>6} {r.in_tot:>6} "
+            f"{r.in_cov:>6} {r.rnd:>5} {r.three_ph:>5} {r.sim:>4} {r.cpu:>8.2f}"
+        )
+    lines.append("-" * len(header))
+    out_tot = sum(r.out_tot for r in rows)
+    out_cov = sum(r.out_cov for r in rows)
+    in_tot = sum(r.in_tot for r in rows)
+    in_cov = sum(r.in_cov for r in rows)
+    if out_tot:
+        lines.append(f"Total output-stuck-at FC: {100.0 * out_cov / out_tot:.2f}%")
+    if in_tot:
+        lines.append(f"Total input-stuck-at  FC: {100.0 * in_cov / in_tot:.2f}%")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Malformed circuit construction (bad names, undriven signals...)."""
+
+
+class ParseError(ReproError):
+    """Syntactic error in a netlist (.net) or STG (.g) source file."""
+
+    def __init__(self, message: str, filename: str = "<string>", line: int = 0):
+        self.filename = filename
+        self.line = line
+        super().__init__(f"{filename}:{line}: {message}" if line else message)
+
+
+class SimulationError(ReproError):
+    """Simulation invoked with inconsistent state or options."""
+
+
+class StateGraphError(ReproError):
+    """TCSG/CSSG construction failure (unstable reset, explosion...)."""
+
+
+class StgError(ReproError):
+    """Semantic error in a signal transition graph."""
+
+
+class ConsistencyError(StgError):
+    """The STG fires s+ when s=1 or s- when s=0 on some reachable path."""
+
+
+class SafenessError(StgError):
+    """Token count on some place exceeds one (the net is not safe)."""
+
+
+class CscError(StgError):
+    """Complete State Coding violation: two reachable states share a
+    binary code but disagree on the next-state function of an output."""
+
+
+class SynthesisError(StgError):
+    """Logic synthesis could not produce a circuit."""
+
+
+class BddError(ReproError):
+    """BDD manager misuse (foreign nodes, bad variable indices...)."""

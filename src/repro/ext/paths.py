@@ -1,0 +1,67 @@
+"""Structural path enumeration — substrate for a delay-fault extension.
+
+The paper's conclusions name delay faults as the next fault model.  The
+path-delay model [25] needs the set of structural paths from inputs to
+observable outputs; this module enumerates them on our netlists.
+
+Feedback makes raw path enumeration infinite, so paths are *simple* in
+gates: no gate output repeats.  ``enumerate_paths`` yields each path as a
+tuple of signal indices (source first); ``structural_paths`` groups and
+counts them per output, which is what a coverage metric needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.circuit.netlist import Circuit
+
+
+def _fanout(circuit: Circuit) -> Dict[int, List[int]]:
+    """signal index -> gate output indices that read it."""
+    fan: Dict[int, List[int]] = {i: [] for i in range(circuit.n_signals)}
+    for gate in circuit.gates:
+        for src in gate.support:
+            if src != gate.index:  # self-feedback does not extend a path
+                fan[src].append(gate.index)
+    return fan
+
+
+def enumerate_paths(
+    circuit: Circuit, max_paths: int = 100_000
+) -> Iterator[Tuple[int, ...]]:
+    """Yield simple structural paths from primary inputs to outputs.
+
+    A path is a tuple of signal indices starting at a primary input and
+    ending at an observable output, following gate support edges, with no
+    repeated gate.  Enumeration stops after ``max_paths`` (guard against
+    pathological netlists).
+    """
+    fan = _fanout(circuit)
+    outputs = set(circuit.outputs)
+    emitted = 0
+    for start in range(circuit.n_inputs):
+        stack: List[Tuple[Tuple[int, ...], int]] = [((start,), start)]
+        while stack:
+            path, last = stack.pop()
+            if last in outputs and len(path) > 1:
+                yield path
+                emitted += 1
+                if emitted >= max_paths:
+                    return
+            for nxt in fan[last]:
+                if nxt not in path:
+                    stack.append((path + (nxt,), nxt))
+
+
+def structural_paths(circuit: Circuit, max_paths: int = 100_000) -> Dict[str, int]:
+    """Count simple input-to-output paths per observable output.
+
+    Each counted path corresponds to two path-delay faults (rising and
+    falling transition), so ``2 * sum(counts.values())`` is the size of
+    the path-delay fault universe on this netlist.
+    """
+    counts: Dict[str, int] = {name: 0 for name in circuit.output_names}
+    for path in enumerate_paths(circuit, max_paths):
+        counts[circuit.signal_name(path[-1])] += 1
+    return counts

@@ -1,0 +1,115 @@
+"""A-priori classification of undetectable faults (paper §6).
+
+The paper observes that its 3-phase search "wastes time with no positive
+results" on undetectable faults and lists their early classification as
+future work.  Two cheap sufficient conditions are implemented here; both
+are sound (a classified fault is genuinely undetectable under the CSSG +
+stable-state-observation semantics), neither is complete:
+
+* **never excited** — the fault site holds the stuck value in every
+  reachable stable state *and* the faulty machine is stable in each of
+  them (so no stable-state divergence can ever start);
+* **stable-equivalent** — exhaustive product walk of (good CSSG state,
+  faulty ternary state) shows the faulty machine always reaches output-
+  identical *definite* stable states.  This is the same search the
+  3-phase generator would do, run with a bounded budget up front so the
+  per-fault ATPG can be skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.circuit.faults import Fault
+from repro.sgraph.cssg import Cssg
+from repro.sim import ternary
+
+NEVER_EXCITED = "never-excited"
+STABLE_EQUIVALENT = "stable-equivalent"
+POSSIBLY_DETECTABLE = "possibly-detectable"
+
+
+@dataclass
+class Classification:
+    fault: Fault
+    verdict: str  # one of the three module constants
+    product_states: int = 0
+
+
+def _never_excited(cssg: Cssg, fault: Fault) -> bool:
+    """True when no reachable stable state excites the fault site and the
+    fault does not destabilize any stable state."""
+    circuit = cssg.circuit
+    site, stuck = fault.excitation_site(), fault.value
+    for state in cssg.states:
+        if ((state >> site) & 1) != stuck:
+            return False
+        settled = ternary.settle(
+            circuit, ternary.from_binary(state, circuit.n_signals), fault
+        )
+        if not ternary.is_definite(settled) or ternary.to_binary(settled) != state:
+            return False
+    return True
+
+
+def _stable_equivalent(
+    cssg: Cssg, fault: Fault, budget: int
+) -> Tuple[Optional[bool], int]:
+    """Exhaustive product walk; returns (undetectable?, states explored).
+
+    ``None`` means the budget ran out or an uncertain (Φ-bearing) faulty
+    state was met — either way the fault cannot be *proven* undetectable
+    cheaply, so it goes to the full 3-phase generator.
+    """
+    circuit = cssg.circuit
+    faulty0 = ternary.settle_from_reset(circuit, cssg.reset, fault)
+    if ternary.detects(circuit, cssg.reset, faulty0):
+        return False, 0
+    seen: Set[Tuple[int, ternary.TernaryState]] = {(cssg.reset, faulty0)}
+    stack = [(cssg.reset, faulty0)]
+    explored = 0
+    while stack:
+        good, faulty = stack.pop()
+        for pattern in cssg.valid_patterns(good):
+            explored += 1
+            if explored > budget:
+                return None, explored
+            ngood = cssg.edges[good][pattern]
+            nfaulty = ternary.apply_pattern(circuit, faulty, pattern, fault)
+            if ternary.detects(circuit, ngood, nfaulty):
+                return False, explored
+            if not ternary.is_definite(nfaulty):
+                # A Φ output could still match; proving undetectability
+                # through uncertain states is out of scope for the cheap
+                # classifier.
+                for out in circuit.outputs:
+                    low, high = nfaulty
+                    if (low >> out) & 1 and (high >> out) & 1:
+                        return None, explored
+            key = (ngood, nfaulty)
+            if key not in seen:
+                seen.add(key)
+                stack.append(key)
+    return True, explored
+
+
+def classify_undetectable(
+    cssg: Cssg, faults: List[Fault], budget_per_fault: int = 20_000
+) -> Dict[Fault, Classification]:
+    """Classify each fault before running expensive per-fault ATPG.
+
+    The returned verdicts partition ``faults`` into provably undetectable
+    (two reasons) and possibly detectable.
+    """
+    result: Dict[Fault, Classification] = {}
+    for fault in faults:
+        if _never_excited(cssg, fault):
+            result[fault] = Classification(fault, NEVER_EXCITED)
+            continue
+        verdict, explored = _stable_equivalent(cssg, fault, budget_per_fault)
+        if verdict is True:
+            result[fault] = Classification(fault, STABLE_EQUIVALENT, explored)
+        else:
+            result[fault] = Classification(fault, POSSIBLY_DETECTABLE, explored)
+    return result

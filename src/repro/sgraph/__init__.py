@@ -1,0 +1,16 @@
+"""State-graph machinery: TCSG exploration and the CSSG abstraction.
+
+* :mod:`repro.sgraph.explore` — exhaustive unbounded-delay settling
+  analysis from a single state (non-confluence, oscillation, test-cycle
+  length; paper §2, §4.1).
+* :mod:`repro.sgraph.cssg` — reachable-stable-state traversal and the
+  k-Confluent Stable State Graph (paper §4.2).
+* :mod:`repro.sgraph.symbolic` — BDD-based encodings of R_I / R_delta,
+  symbolic reachability and a symbolic CSSG used for cross-validation
+  (paper §3.1's "symbolic traversal algorithms similar to [10, 7]").
+"""
+
+from repro.sgraph.explore import SettleReport, settle_report
+from repro.sgraph.cssg import Cssg, build_cssg
+
+__all__ = ["SettleReport", "settle_report", "Cssg", "build_cssg"]

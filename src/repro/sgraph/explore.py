@@ -1,0 +1,162 @@
+"""Exhaustive settling analysis under the unbounded gate-delay model.
+
+Given a (usually unstable) start state — a stable state whose inputs were
+just rewritten by an R_I step — this module explores every interleaving of
+single-gate transitions and classifies the outcome (paper §2):
+
+* **confluent**: every maximal path ends in the same stable state;
+* **non-confluent**: two or more distinct stable states are reachable
+  (a critical race; potential metastability);
+* **oscillating**: the transition graph contains a cycle, so with
+  unbounded delays the circuit may postpone stabilization indefinitely;
+* **too slow**: the longest transition path exceeds the test-cycle bound
+  ``k`` (paper §4.1: a k-step test cycle only waits for k transitions).
+
+A vector is *valid* for the CSSG exactly when the outcome is confluent,
+acyclic and within ``k`` (see :mod:`repro.sgraph.cssg`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.errors import StateGraphError
+
+
+@dataclass(frozen=True)
+class SettleReport:
+    """Outcome of exploring all settling interleavings from one state."""
+
+    start: int
+    stable_states: FrozenSet[int]
+    has_cycle: bool
+    longest_path: Optional[int]  # None when the graph has a cycle
+    n_states: int
+    truncated: bool
+
+    @property
+    def confluent(self) -> bool:
+        """Exactly one stable outcome (regardless of path lengths)."""
+        return len(self.stable_states) == 1 and not self.has_cycle
+
+    @property
+    def oscillating(self) -> bool:
+        return self.has_cycle
+
+    @property
+    def nonconfluent(self) -> bool:
+        return len(self.stable_states) > 1
+
+    def valid(self, k: int) -> bool:
+        """True when the vector that produced ``start`` is CSSG_k-valid:
+        a unique stable outcome reached by every path within k steps."""
+        if self.truncated or self.has_cycle or len(self.stable_states) != 1:
+            return False
+        assert self.longest_path is not None
+        return self.longest_path <= k
+
+    @property
+    def unique_stable(self) -> int:
+        if len(self.stable_states) != 1:
+            raise StateGraphError("settling is not confluent")
+        return next(iter(self.stable_states))
+
+
+def settle_report(circuit: Circuit, start: int, cap: int = 200_000) -> SettleReport:
+    """Explore every gate-transition interleaving from ``start``.
+
+    ``cap`` bounds the number of distinct states explored; blowing past it
+    marks the report ``truncated`` (treated as invalid by the CSSG, which
+    is conservative in the same direction as the paper's ternary check).
+    """
+    succs: Dict[int, Tuple[int, ...]] = {}
+    stable: List[int] = []
+    stack = [start]
+    truncated = False
+    while stack:
+        state = stack.pop()
+        if state in succs:
+            continue
+        if len(succs) >= cap:
+            truncated = True
+            break
+        excited = circuit.excited_gates(state)
+        if not excited:
+            succs[state] = ()
+            stable.append(state)
+            continue
+        nxt = tuple(state ^ (1 << g.index) for g in excited)
+        succs[state] = nxt
+        for t in nxt:
+            if t not in succs:
+                stack.append(t)
+
+    has_cycle = _has_cycle(succs, start) if not truncated else True
+    longest = None
+    if not truncated and not has_cycle:
+        longest = _longest_path(succs, start)
+    return SettleReport(
+        start=start,
+        stable_states=frozenset(stable),
+        has_cycle=has_cycle,
+        longest_path=longest,
+        n_states=len(succs),
+        truncated=truncated,
+    )
+
+
+def _has_cycle(succs: Dict[int, Tuple[int, ...]], start: int) -> bool:
+    """Iterative three-color DFS over the explored settling graph."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {}
+    stack: List[Tuple[int, int]] = [(start, 0)]
+    color[start] = GRAY
+    while stack:
+        node, i = stack[-1]
+        children = succs.get(node, ())
+        if i < len(children):
+            stack[-1] = (node, i + 1)
+            child = children[i]
+            c = color.get(child, WHITE)
+            if c == GRAY:
+                return True
+            if c == WHITE:
+                color[child] = GRAY
+                stack.append((child, 0))
+        else:
+            color[node] = BLACK
+            stack.pop()
+    return False
+
+
+def _longest_path(succs: Dict[int, Tuple[int, ...]], start: int) -> int:
+    """Longest transition path from ``start`` in the (acyclic) settling
+    graph.  This is the |sigma| of paper §4.1: the worst-case number of
+    gate transitions before the circuit is guaranteed stable."""
+    order: List[int] = []
+    seen = set([start])
+    stack: List[Tuple[int, int]] = [(start, 0)]
+    while stack:
+        node, i = stack[-1]
+        children = succs.get(node, ())
+        if i < len(children):
+            stack[-1] = (node, i + 1)
+            child = children[i]
+            if child not in seen:
+                seen.add(child)
+                stack.append((child, 0))
+        else:
+            order.append(node)
+            stack.pop()
+    # Reverse postorder is a topological order; relax in that order.
+    dist = {start: 0}
+    for node in reversed(order):
+        d = dist.get(node)
+        if d is None:
+            continue
+        for child in succs.get(node, ()):
+            if dist.get(child, -1) < d + 1:
+                dist[child] = d + 1
+    return max(dist.values())

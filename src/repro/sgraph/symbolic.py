@@ -1,0 +1,242 @@
+"""Symbolic (BDD-based) traversal of the test-mode circuit state graph.
+
+This is the paper's §3.1/§4.2 machinery: encode the circuit state as BDD
+variables, build the transition relations
+
+* ``R_delta`` — one excited gate switches (stable states self-loop), and
+* ``R_I`` — a stable state has its input bits rewritten arbitrarily,
+
+then compute the TCSG reachable set by a least-fixpoint of images, and
+the CSSG edges by iterating the R_delta image exactly ``k`` times from
+each (stable state, input pattern) pair: the pair is a CSSG edge iff the
+k-step image is one singleton stable state (TCR_k uniqueness, §4.2).
+
+Variable order interleaves current/next: signal *i* gets current level
+``2i`` and next level ``2i+1``, the classic ordering for relations.
+
+The module exists both as the faithful "symbolic techniques" of the paper
+and as an independent oracle: tests assert that explicit and symbolic
+reachability/CSSG agree exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro._bits import mask
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.circuit.expr import OP_AND, OP_CONST, OP_NOT, OP_OR, OP_VAR, OP_XOR
+from repro.circuit.netlist import Circuit
+from repro.errors import StateGraphError
+from repro.sgraph.cssg import Cssg
+
+
+class SymbolicTcsg:
+    """BDD encoding of one circuit's test-mode behaviour."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        n = circuit.n_signals
+        self.mgr = BddManager(2 * n)
+        self.n = n
+        # Gate functions over current-state variables.
+        self.gate_fn: Dict[int, int] = {
+            g.index: self._compile(g.program) for g in circuit.gates
+        }
+        self.stable = self._stable_set()
+        self.r_delta = self._build_r_delta()
+        self.r_input = self._build_r_input()
+
+    # -- encoding helpers -------------------------------------------------
+
+    def cur(self, i: int) -> int:
+        """Current-state variable level of signal i."""
+        return 2 * i
+
+    def nxt(self, i: int) -> int:
+        """Next-state variable level of signal i."""
+        return 2 * i + 1
+
+    def _compile(self, program) -> int:
+        mgr = self.mgr
+        stack: List[int] = []
+        for op, arg in program:
+            if op == OP_VAR:
+                stack.append(mgr.var(self.cur(arg)))
+            elif op == OP_NOT:
+                stack.append(mgr.apply_not(stack.pop()))
+            elif op == OP_AND:
+                b, a = stack.pop(), stack.pop()
+                stack.append(mgr.apply_and(a, b))
+            elif op == OP_OR:
+                b, a = stack.pop(), stack.pop()
+                stack.append(mgr.apply_or(a, b))
+            elif op == OP_XOR:
+                b, a = stack.pop(), stack.pop()
+                stack.append(mgr.apply_xor(a, b))
+            else:  # OP_CONST
+                stack.append(TRUE if arg else FALSE)
+        return stack[0]
+
+    def state_bdd(self, state: int) -> int:
+        """Characteristic function of one concrete state (current vars)."""
+        mgr = self.mgr
+        lits = []
+        for i in range(self.n):
+            level = self.cur(i)
+            lits.append(mgr.var(level) if (state >> i) & 1 else mgr.nvar(level))
+        return mgr.and_all(lits)
+
+    def _stable_set(self) -> int:
+        """BDD of all stable states: every gate equals its function."""
+        mgr = self.mgr
+        conjuncts = []
+        for g in self.circuit.gates:
+            out = mgr.var(self.cur(g.index))
+            conjuncts.append(mgr.apply_iff(out, self.gate_fn[g.index]))
+        return mgr.and_all(conjuncts)
+
+    def _same(self, indices) -> int:
+        """BDD asserting next == current for the given signals."""
+        mgr = self.mgr
+        conjuncts = [
+            mgr.apply_iff(mgr.var(self.nxt(i)), mgr.var(self.cur(i)))
+            for i in indices
+        ]
+        return mgr.and_all(conjuncts)
+
+    def _build_r_delta(self) -> int:
+        """R_delta: switch one excited gate, or self-loop when stable."""
+        mgr = self.mgr
+        n_inputs = self.circuit.n_inputs
+        inputs_hold = self._same(range(n_inputs))
+        disjuncts = []
+        all_gates = [g.index for g in self.circuit.gates]
+        for g in self.circuit.gates:
+            excited = mgr.apply_xor(mgr.var(self.cur(g.index)), self.gate_fn[g.index])
+            flip = mgr.apply_xor(
+                mgr.var(self.nxt(g.index)), mgr.var(self.cur(g.index))
+            )
+            others_hold = self._same(i for i in all_gates if i != g.index)
+            disjuncts.append(
+                mgr.and_all([excited, flip, others_hold])
+            )
+        stable_loop = mgr.apply_and(self.stable, self._same(all_gates))
+        moves = mgr.or_all(disjuncts)
+        return mgr.apply_and(inputs_hold, mgr.apply_or(moves, stable_loop))
+
+    def _build_r_input(self) -> int:
+        """R_I: from a stable state, inputs change freely, gates hold."""
+        mgr = self.mgr
+        gates_hold = self._same(g.index for g in self.circuit.gates)
+        differs = mgr.apply_not(self._same(range(self.circuit.n_inputs)))
+        return mgr.and_all([self.stable, gates_hold, differs])
+
+    # -- traversal ---------------------------------------------------------
+
+    def _next_to_cur(self) -> Dict[int, int]:
+        return {self.nxt(i): self.cur(i) for i in range(self.n)}
+
+    def image(self, states: int, relation: int) -> int:
+        """Forward image: rename(exists cur: relation AND states)."""
+        mgr = self.mgr
+        cur_vars = [self.cur(i) for i in range(self.n)]
+        img_next = mgr.and_exists(relation, states, cur_vars)
+        return mgr.rename(img_next, self._next_to_cur())
+
+    def reachable(self, from_states: Optional[int] = None, max_iters: int = 100_000) -> int:
+        """Least fixpoint of the TCSG relation R_I ∪ R_delta from reset."""
+        mgr = self.mgr
+        if from_states is None:
+            from_states = self.state_bdd(self.circuit.require_reset())
+        relation = mgr.apply_or(self.r_delta, self.r_input)
+        reached = from_states
+        frontier = from_states
+        for _ in range(max_iters):
+            img = self.image(frontier, relation)
+            new = mgr.apply_and(img, mgr.apply_not(reached))
+            if new == FALSE:
+                return reached
+            reached = mgr.apply_or(reached, new)
+            frontier = new
+        raise StateGraphError("symbolic reachability did not converge")
+
+    def stable_reachable(self, from_states: Optional[int] = None) -> int:
+        return self.mgr.apply_and(self.reachable(from_states), self.stable)
+
+    def enumerate_states(self, bdd: int) -> Iterator[int]:
+        """Decode a current-variable BDD into packed state ints."""
+        cur_vars = [self.cur(i) for i in range(self.n)]
+        for assignment in self.mgr.sat_iter(bdd, cur_vars):
+            state = 0
+            for i in range(self.n):
+                if assignment[self.cur(i)]:
+                    state |= 1 << i
+            yield state
+
+    def count_states(self, bdd: int) -> int:
+        return self.mgr.sat_count(bdd, [self.cur(i) for i in range(self.n)])
+
+    # -- symbolic CSSG -------------------------------------------------------
+
+    def k_step_outcome(self, state: int, pattern: int, k: int) -> Tuple[bool, Optional[int]]:
+        """TCR_k uniqueness test for one (stable state, input pattern).
+
+        Iterates the R_delta image exactly ``k`` times (stable self-loops
+        pad shorter paths) from the post-R_I state.  Returns
+        ``(valid, successor)``: valid iff the k-step set is a single
+        stable state — the paper's CSSG_k membership condition.
+        """
+        mgr = self.mgr
+        started = self.circuit.apply_input_pattern(state, pattern)
+        current = self.state_bdd(started)
+        seen_at = [current]
+        for step in range(k):
+            nxt = self.image(current, self.r_delta)
+            if nxt == current:
+                # Fixpoint: the set at every later step equals this one.
+                break
+            current = nxt
+            seen_at.append(current)
+        singleton = self.count_states(current) == 1
+        if not singleton:
+            return False, None
+        only = next(self.enumerate_states(current))
+        if not self.circuit.is_stable(only):
+            return False, None
+        # The set must have *converged* to the singleton within k steps —
+        # if the loop above broke early it converged; if it ran k times,
+        # current is exactly the k-step set, which is what CSSG_k demands.
+        return True, only
+
+    def build_cssg(self, k: Optional[int] = None) -> Cssg:
+        """CSSG via symbolic traversal; mirrors
+        :func:`repro.sgraph.cssg.build_cssg` and must agree with it."""
+        circuit = self.circuit
+        if k is None:
+            k = circuit.k
+        reset = circuit.require_reset()
+        if not circuit.is_stable(reset):
+            raise StateGraphError("symbolic CSSG needs a stable reset state")
+        cssg = Cssg(circuit=circuit, k=k, reset=reset)
+        cssg.states.add(reset)
+        frontier = [reset]
+        n_inputs = circuit.n_inputs
+        while frontier:
+            next_frontier = []
+            for s in frontier:
+                out_edges: Dict[int, int] = {}
+                cur_pattern = circuit.input_pattern(s)
+                for pattern in range(1 << n_inputs):
+                    if pattern == cur_pattern:
+                        continue
+                    valid, succ = self.k_step_outcome(s, pattern, k)
+                    if valid:
+                        assert succ is not None
+                        out_edges[pattern] = succ
+                        if succ not in cssg.states:
+                            cssg.states.add(succ)
+                            next_frontier.append(succ)
+                cssg.edges[s] = out_edges
+            frontier = next_frontier
+        return cssg

@@ -1,0 +1,34 @@
+"""Simulation engines.
+
+* :mod:`repro.sim.ternary` — scalar ternary simulation (Eichelberger's
+  Algorithms A and B) with optional single-fault injection; this is the
+  conservative race/oscillation detector of paper §5.4.
+* :mod:`repro.sim.batch` — word-parallel ternary simulation of many
+  faulty machines at once (parallel fault simulation, Seshu-style).
+"""
+
+from repro.sim.ternary import (
+    TernaryState,
+    from_binary,
+    is_definite,
+    to_binary,
+    settle,
+    apply_pattern,
+    settle_from_reset,
+    detects,
+    phi_signals,
+)
+from repro.sim.batch import FaultBatch
+
+__all__ = [
+    "TernaryState",
+    "from_binary",
+    "is_definite",
+    "to_binary",
+    "settle",
+    "apply_pattern",
+    "settle_from_reset",
+    "detects",
+    "phi_signals",
+    "FaultBatch",
+]

@@ -1,0 +1,194 @@
+"""Word-parallel ternary fault simulation (paper §5.4).
+
+Random TPG and fault simulation both need "the same input sequence run on
+many faulty machines".  Parallel simulation packs one faulty machine per
+bit of a Python int: signal *i* of the batch holds a pair of W-bit words
+``(L[i], H[i])`` with the same (can-be-0, can-be-1) encoding as
+:mod:`repro.sim.ternary`.  Because Python ints are arbitrary precision,
+one batch simulates the entire fault universe at once.
+
+Fault injection is compiled into per-gate masks:
+
+* an *input* fault ``(g, site, v)`` owns bit *j*: when gate ``g`` reads
+  ``site``, bit *j* of the operand words is forced to ``v``;
+* an *output* fault forces bit *j* of gate ``g``'s evaluation result.
+
+The settle loop is the batched Algorithm A / Algorithm B of the scalar
+simulator; a ``FaultBatch`` of width 1 is bit-for-bit equivalent to the
+scalar engine (a property the test suite checks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._bits import bit, mask
+from repro.circuit.expr import eval_ternary
+from repro.circuit.faults import Fault
+from repro.circuit.netlist import Circuit
+from repro.errors import SimulationError
+
+BatchState = Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+
+class FaultBatch:
+    """Simulates one circuit under W simultaneous single-fault hypotheses.
+
+    Usage::
+
+        batch = FaultBatch(circuit, faults)
+        state = batch.reset_and_settle()
+        state = batch.apply(state, pattern)
+        detected |= batch.observe(state, good_state)
+
+    ``observe`` returns a W-bit mask of machines whose outputs *definitely*
+    differ from the good circuit.
+    """
+
+    def __init__(self, circuit: Circuit, faults: Sequence[Fault]):
+        self.circuit = circuit
+        self.faults = list(faults)
+        self.width = len(self.faults)
+        self.ones = mask(self.width) if self.width else 0
+        # pin_force[gate_index][site] = (force0, force1) masks
+        self.pin_force: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        # out_force[gate_index] = (force0, force1) masks
+        self.out_force: Dict[int, Tuple[int, int]] = {}
+        for j, fault in enumerate(self.faults):
+            if fault.kind == "input":
+                per_gate = self.pin_force.setdefault(fault.gate, {})
+                f0, f1 = per_gate.get(fault.site, (0, 0))
+                if fault.value == 0:
+                    f0 |= 1 << j
+                else:
+                    f1 |= 1 << j
+                per_gate[fault.site] = (f0, f1)
+            elif fault.kind == "output":
+                f0, f1 = self.out_force.get(fault.gate, (0, 0))
+                if fault.value == 0:
+                    f0 |= 1 << j
+                else:
+                    f1 |= 1 << j
+                self.out_force[fault.gate] = (f0, f1)
+            else:
+                raise SimulationError(f"unknown fault kind {fault.kind!r}")
+
+    # -- state helpers ---------------------------------------------------
+
+    def broadcast(self, state: int) -> BatchState:
+        """Replicate a binary circuit state across all W machines."""
+        n = self.circuit.n_signals
+        ones = self.ones
+        low = tuple(0 if bit(state, i) else ones for i in range(n))
+        high = tuple(ones if bit(state, i) else 0 for i in range(n))
+        return (low, high)
+
+    def _gate_eval(self, gate, low: List[int], high: List[int]) -> Tuple[int, int]:
+        overrides = self.pin_force.get(gate.index)
+        if overrides:
+
+            def getv(sig: int) -> Tuple[int, int]:
+                l, h = low[sig], high[sig]
+                force = overrides.get(sig)
+                if force is not None:
+                    f0, f1 = force
+                    l = (l | f0) & ~f1
+                    h = (h | f1) & ~f0
+                return (l, h)
+
+        else:
+
+            def getv(sig: int) -> Tuple[int, int]:
+                return (low[sig], high[sig])
+
+        el, eh = eval_ternary(gate.program, getv, self.ones)
+        out = self.out_force.get(gate.index)
+        if out is not None:
+            f0, f1 = out
+            el = (el | f0) & ~f1
+            eh = (eh | f1) & ~f0
+        return el, eh
+
+    def settle(self, state: BatchState) -> BatchState:
+        """Batched Algorithm A then Algorithm B with inputs held."""
+        low = list(state[0])
+        high = list(state[1])
+        gates = self.circuit.gates
+        guard = 2 * self.circuit.n_signals * max(1, self.width) + 4
+        for _ in range(guard):
+            changed = False
+            for gate in gates:
+                el, eh = self._gate_eval(gate, low, high)
+                gi = gate.index
+                nl = low[gi] | el
+                nh = high[gi] | eh
+                if nl != low[gi] or nh != high[gi]:
+                    low[gi] = nl
+                    high[gi] = nh
+                    changed = True
+            if not changed:
+                break
+        else:
+            raise SimulationError("batched Algorithm A failed to converge")
+        for _ in range(guard):
+            changed = False
+            for gate in gates:
+                el, eh = self._gate_eval(gate, low, high)
+                gi = gate.index
+                if el != low[gi] or eh != high[gi]:
+                    low[gi] = el
+                    high[gi] = eh
+                    changed = True
+            if not changed:
+                break
+        else:
+            raise SimulationError("batched Algorithm B failed to converge")
+        return (tuple(low), tuple(high))
+
+    def reset_and_settle(self, reset_state: Optional[int] = None) -> BatchState:
+        """Force the reset state on every machine and settle.
+
+        Machines carrying an *output* fault get the stuck node pre-set to
+        its stuck value (the node never held the fault-free reset value;
+        see :func:`repro.sim.ternary.settle_from_reset`).
+        """
+        if reset_state is None:
+            reset_state = self.circuit.require_reset()
+        low, high = (list(w) for w in self.broadcast(reset_state))
+        for gate_index, (f0, f1) in self.out_force.items():
+            low[gate_index] = (low[gate_index] | f0) & ~f1
+            high[gate_index] = (high[gate_index] | f1) & ~f0
+        return self.settle((tuple(low), tuple(high)))
+
+    def apply(self, state: BatchState, pattern: int) -> BatchState:
+        """One synchronous test cycle: drive inputs, settle every machine."""
+        low = list(state[0])
+        high = list(state[1])
+        ones = self.ones
+        for i in range(self.circuit.n_inputs):
+            if (pattern >> i) & 1:
+                low[i], high[i] = 0, ones
+            else:
+                low[i], high[i] = ones, 0
+        return self.settle((tuple(low), tuple(high)))
+
+    def observe(self, state: BatchState, good_state: int) -> int:
+        """W-bit mask of machines with a definite output difference."""
+        low, high = state
+        detected = 0
+        for out in self.circuit.outputs:
+            if (good_state >> out) & 1:
+                detected |= low[out] & ~high[out]
+            else:
+                detected |= high[out] & ~low[out]
+        return detected
+
+    def machine_state(self, state: BatchState, j: int) -> Tuple[int, int]:
+        """Extract machine ``j`` as a scalar ternary (L, H) pair."""
+        low, high = state
+        sl = 0
+        sh = 0
+        for i in range(self.circuit.n_signals):
+            sl |= ((low[i] >> j) & 1) << i
+            sh |= ((high[i] >> j) & 1) << i
+        return (sl, sh)

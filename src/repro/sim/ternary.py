@@ -1,0 +1,180 @@
+"""Scalar ternary simulation — Eichelberger's Algorithms A and B.
+
+A ternary state assigns each signal one of {0, 1, Φ}; Φ is "uncertain".
+We pack a state as a pair of ints ``(L, H)``: bit *i* of ``L`` means
+"signal *i* can be 0", bit *i* of ``H`` means "signal *i* can be 1".
+So 0 = (1,0), 1 = (0,1) and Φ = (1,1) per signal.  Packing keeps states
+hashable, which the state-differentiation search (paper §5.3) relies on.
+
+**Algorithm A** repeatedly lifts every gate to the least upper bound of
+its current value and its evaluation; unstable signals rise to Φ and
+uncertainty propagates until a fixpoint.  **Algorithm B** then repeatedly
+re-evaluates every gate; values can only resolve downward (Φ → 0/1).
+Both fixpoints exist because the ternary gate operators are monotone in
+the information order, and are reached in O(n) sweeps, giving the O(n²)
+bound the paper quotes from [6].
+
+If the final state is fully definite it is the *unique* stable successor
+under the unbounded gate-delay model; any remaining Φ conservatively
+signals possible non-confluence or oscillation.
+
+A single stuck-at fault can be injected: an ``input`` fault forces one
+source pin of one gate, an ``output`` fault replaces a gate's function by
+a constant (see :mod:`repro.circuit.faults`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro._bits import mask
+from repro.circuit.expr import eval_ternary
+from repro.circuit.faults import Fault
+from repro.circuit.netlist import Circuit, Gate
+from repro.errors import SimulationError
+
+TernaryState = Tuple[int, int]
+
+
+def from_binary(state: int, n_signals: int) -> TernaryState:
+    """Lift a packed binary state to a definite ternary state."""
+    m = mask(n_signals)
+    return (~state & m, state & m)
+
+
+def is_definite(tstate: TernaryState) -> bool:
+    """True when no signal is Φ."""
+    low, high = tstate
+    return (low & high) == 0
+
+
+def to_binary(tstate: TernaryState) -> int:
+    """Convert a definite ternary state back to a packed binary state."""
+    low, high = tstate
+    if low & high:
+        raise SimulationError("state contains uncertain (phi) signals")
+    return high
+
+
+def phi_signals(tstate: TernaryState) -> int:
+    """Bit mask of the signals whose value is Φ."""
+    low, high = tstate
+    return low & high
+
+
+def _gate_eval(
+    circuit: Circuit, gate: Gate, low: int, high: int, fault: Optional[Fault]
+) -> Tuple[int, int]:
+    """Ternary evaluation of one gate with optional fault injection."""
+    if fault is not None and fault.kind == "output" and gate.index == fault.gate:
+        return (0, 1) if fault.value else (1, 0)
+    if fault is not None and fault.kind == "input" and gate.index == fault.gate:
+        site, stuck = fault.site, fault.value
+
+        def getv(sig: int) -> Tuple[int, int]:
+            if sig == site:
+                return (0, 1) if stuck else (1, 0)
+            return ((low >> sig) & 1, (high >> sig) & 1)
+
+    else:
+
+        def getv(sig: int) -> Tuple[int, int]:
+            return ((low >> sig) & 1, (high >> sig) & 1)
+
+    return eval_ternary(gate.program, getv, 1)
+
+
+def settle(
+    circuit: Circuit, tstate: TernaryState, fault: Optional[Fault] = None
+) -> TernaryState:
+    """Run Algorithm A then Algorithm B with primary inputs held.
+
+    Returns the ternary settling result; definite iff the circuit has a
+    unique stable successor reached without races (conservatively).
+    """
+    low, high = tstate
+    gates = circuit.gates
+    # Algorithm A: value <- lub(value, eval), until fixpoint.
+    sweep_guard = 2 * circuit.n_signals + 4
+    for _ in range(sweep_guard):
+        changed = False
+        for gate in gates:
+            el, eh = _gate_eval(circuit, gate, low, high, fault)
+            gi = gate.index
+            nl = ((low >> gi) & 1) | el
+            nh = ((high >> gi) & 1) | eh
+            if nl != ((low >> gi) & 1) or nh != ((high >> gi) & 1):
+                low = (low & ~(1 << gi)) | (nl << gi)
+                high = (high & ~(1 << gi)) | (nh << gi)
+                changed = True
+        if not changed:
+            break
+    else:
+        raise SimulationError("Algorithm A failed to converge (internal bug)")
+    # Algorithm B: value <- eval, until fixpoint (monotone decreasing).
+    for _ in range(sweep_guard):
+        changed = False
+        for gate in gates:
+            el, eh = _gate_eval(circuit, gate, low, high, fault)
+            gi = gate.index
+            if el != ((low >> gi) & 1) or eh != ((high >> gi) & 1):
+                low = (low & ~(1 << gi)) | (el << gi)
+                high = (high & ~(1 << gi)) | (eh << gi)
+                changed = True
+        if not changed:
+            break
+    else:
+        raise SimulationError("Algorithm B failed to converge (internal bug)")
+    return (low, high)
+
+
+def apply_pattern(
+    circuit: Circuit,
+    tstate: TernaryState,
+    pattern: int,
+    fault: Optional[Fault] = None,
+) -> TernaryState:
+    """One synchronous test cycle: drive the inputs to ``pattern``
+    (definite values) and let the circuit settle."""
+    imask = mask(circuit.n_inputs)
+    low, high = tstate
+    low = (low & ~imask) | (~pattern & imask)
+    high = (high & ~imask) | (pattern & imask)
+    return settle(circuit, (low, high), fault)
+
+
+def settle_from_reset(
+    circuit: Circuit, reset_state: int, fault: Optional[Fault] = None
+) -> TernaryState:
+    """Force the reset state (as a tester would) and settle.
+
+    For an *output* fault the stuck node is pre-set to its stuck value —
+    physically it never held the fault-free reset value, and lifting it
+    from the wrong polarity would let Algorithm A's lub transient poison
+    feedback loops with spurious Φ.  The rest of the circuit is forced to
+    the reset values and then settles (paper §4: "forcing s1 as reset
+    state").
+    """
+    if fault is not None and fault.kind == "output":
+        reset_state = (reset_state & ~(1 << fault.site)) | (fault.value << fault.site)
+    return settle(circuit, from_binary(reset_state, circuit.n_signals), fault)
+
+
+def detects(circuit: Circuit, good_state: int, faulty: TernaryState) -> bool:
+    """True when some primary output *definitely* differs.
+
+    The paper (§5.2) requires corruption to show in **all** terminal
+    stable states, which is exactly "the faulty output is definite and
+    opposite": a Φ output might still match the good machine for some
+    delay assignment.
+    """
+    low, high = faulty
+    for out in circuit.outputs:
+        good = (good_state >> out) & 1
+        fl = (low >> out) & 1
+        fh = (high >> out) & 1
+        if good == 1 and fl and not fh:
+            return True
+        if good == 0 and fh and not fl:
+            return True
+    return False

@@ -1,0 +1,140 @@
+"""Structural and behavioural health analysis of STGs.
+
+Used by the benchmark validator and available to users designing their
+own specifications.  Checks beyond the hard errors of reachability:
+
+* **free-choice** — every conflict place (more than one consumer) is the
+  *sole* input place of each of its consumers, so choices are never
+  entangled with synchronization (all our benchmarks are free-choice);
+* **input-choice** — conflict places feed transitions of input signals
+  only: the *environment* resolves choices, the circuit stays
+  deterministic (required for the deterministic CSSG abstraction);
+* **output persistency** — on the reachable state graph, an enabled
+  non-input transition is never disabled by firing another transition
+  (the speed-independence condition of [3]; violating it means even the
+  specification itself races);
+* **autonomy** — signals that never fire (dead logic in the making).
+
+``analyse_stg`` bundles everything into one report object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.stg.petrinet import Stg, Transition
+from repro.stg.reachability import StateGraph, build_state_graph, check_csc
+
+
+@dataclass
+class StgReport:
+    """Bundled analysis results (empty lists mean 'healthy')."""
+
+    stg: Stg
+    n_states: int
+    non_free_choice_places: List[str] = field(default_factory=list)
+    non_input_choice_places: List[str] = field(default_factory=list)
+    persistency_violations: List[Tuple[str, str]] = field(default_factory=list)
+    dead_signals: List[str] = field(default_factory=list)
+    csc_conflicts: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        return not (
+            self.non_free_choice_places
+            or self.non_input_choice_places
+            or self.persistency_violations
+            or self.dead_signals
+            or self.csc_conflicts
+        )
+
+    def summary(self) -> str:
+        if self.healthy:
+            return (
+                f"{self.stg.name}: healthy ({self.n_states} states, "
+                "free-choice, input-resolved, persistent, CSC)"
+            )
+        issues = []
+        if self.non_free_choice_places:
+            issues.append(f"non-free-choice places {self.non_free_choice_places}")
+        if self.non_input_choice_places:
+            issues.append(f"output-resolved choices {self.non_input_choice_places}")
+        if self.persistency_violations:
+            issues.append(f"persistency violations {self.persistency_violations[:3]}")
+        if self.dead_signals:
+            issues.append(f"dead signals {self.dead_signals}")
+        if self.csc_conflicts:
+            issues.append(f"{self.csc_conflicts} CSC conflicts")
+        return f"{self.stg.name}: " + "; ".join(issues)
+
+
+def _consumers(stg: Stg, place: int) -> List[Transition]:
+    return [t for t in stg.transitions if place in stg.t_in_places[t.index]]
+
+
+def check_free_choice(stg: Stg) -> List[str]:
+    """Places violating the free-choice condition."""
+    bad = []
+    for place in range(stg.n_places):
+        consumers = _consumers(stg, place)
+        if len(consumers) > 1:
+            for t in consumers:
+                if stg.t_in_places[t.index] != frozenset([place]):
+                    bad.append(stg.place_names[place])
+                    break
+    return bad
+
+
+def check_input_choice(stg: Stg) -> List[str]:
+    """Conflict places resolved by non-input transitions."""
+    bad = []
+    for place in range(stg.n_places):
+        consumers = _consumers(stg, place)
+        if len(consumers) > 1:
+            if any(not stg.is_input(t.signal) for t in consumers):
+                bad.append(stg.place_names[place])
+    return bad
+
+
+def check_persistency(sg: StateGraph) -> List[Tuple[str, str]]:
+    """(disabled, by) label pairs where a non-input enabled transition
+    is disabled by firing another transition."""
+    stg = sg.stg
+    violations: Set[Tuple[str, str]] = set()
+    for sid in range(sg.n_states):
+        enabled_here = {t.label: t for t, _ in sg.edges[sid]}
+        for t, nid in sg.edges[sid]:
+            enabled_next = {u.label for u, _ in sg.edges[nid]}
+            for label, other in enabled_here.items():
+                if label == t.label:
+                    continue
+                if stg.is_input(other.signal):
+                    continue  # environment may withdraw its own offers
+                if label not in enabled_next:
+                    violations.add((label, t.label))
+    return sorted(violations)
+
+
+def check_dead_signals(sg: StateGraph) -> List[str]:
+    """Signals with no transition anywhere in the reachable graph."""
+    fired: Set[str] = set()
+    for sid in range(sg.n_states):
+        for t, _ in sg.edges[sid]:
+            fired.add(t.signal)
+    return [s for s in sg.stg.signals if s not in fired]
+
+
+def analyse_stg(stg: Stg, sg: Optional[StateGraph] = None) -> StgReport:
+    """Run the full battery and return a report."""
+    if sg is None:
+        sg = build_state_graph(stg)
+    return StgReport(
+        stg=stg,
+        n_states=sg.n_states,
+        non_free_choice_places=check_free_choice(stg),
+        non_input_choice_places=check_input_choice(stg),
+        persistency_violations=check_persistency(sg),
+        dead_signals=check_dead_signals(sg),
+        csc_conflicts=len(check_csc(sg)),
+    )

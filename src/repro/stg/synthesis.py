@@ -1,0 +1,260 @@
+"""Gate-level synthesis from a state graph — the Petrify/SIS stand-ins.
+
+Two back ends, selected by ``style``:
+
+* ``"complex"`` — **speed-independent complex gates** (Table 1's circuit
+  class).  Every non-input signal becomes one atomic gate implementing
+  its next-state function NS(z) as a DC-minimized irredundant SOP; the
+  gate's inertial delay sits at its output, so the circuit's unbounded-
+  delay behaviour restricted to specified input sequences equals the STG
+  state graph.  Primary inputs get identity buffers, exactly like the
+  paper's figure 1 circuits.
+
+* ``"two-level"`` — **structural SOP networks** (Table 2's stand-in).
+  Each product term is its own AND gate (inverting pins where needed)
+  feeding a per-signal OR gate.  The default cover is *hazard-aware*:
+  beyond covering the ON set it keeps one cube spanning every
+  state-graph edge across which the function stays 1, so the OR gate
+  never glitches while products hand off.  Those spanning cubes are
+  *functionally redundant* — exactly the "logic redundancies added by
+  the synthesis tools in order to avoid spurious pulses" the paper
+  blames for the poor Table 2 coverage of some benchmarks — and their
+  stuck-at faults are largely untestable.  ``cover="complete"`` (every
+  prime) and ``cover="irredundant"`` are available as ablations.
+
+The reset state of the synthesized circuit is the STG's initial code
+(buffers included), which is stable by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.expr import And, Const, Expr, Not, Or, Var, and_all, or_all
+from repro.circuit.netlist import Circuit
+from repro.errors import SynthesisError
+from repro.stg.petrinet import Stg
+from repro.stg.reachability import StateGraph, build_state_graph, require_csc
+from repro.stg.twolevel import (
+    Cube,
+    compute_primes,
+    hazard_aware_cover,
+    irredundant_cover,
+)
+
+BUFFER_SUFFIX = "$buf"
+
+
+def buffer_name(signal: str) -> str:
+    """Name of the identity buffer for primary input ``signal``."""
+    return signal + BUFFER_SUFFIX
+
+
+def next_state_cover(
+    sg: StateGraph,
+    signal: str,
+    cover: str = "irredundant",
+    dc_policy: str = "dc",
+) -> Tuple[List[Cube], List[int], List[int]]:
+    """Two-level cover of NS(signal) plus its ON/OFF minterm lists.
+
+    Variables are the STG signals in ``stg.signals`` order.  ``dc_policy``
+    decides the fate of unreachable codes: ``"dc"`` leaves them as
+    don't-cares (maximal prime expansion — the atomic complex-gate back
+    end wants the smallest gates), ``"off"`` folds them into the OFF set
+    (the structural two-level back end wants covers without cross-signal
+    don't-care artifacts, which would otherwise create hazards between
+    separately-delayed product gates).
+    """
+    nv = len(sg.stg.signals)
+    on: List[int] = []
+    off: List[int] = []
+    seen: Dict[int, int] = {}
+    for sid in range(sg.n_states):
+        code = sg.code_of(sid)
+        value = sg.next_state_value(sid, signal)
+        previous = seen.get(code)
+        if previous is not None and previous != value:
+            raise SynthesisError(
+                f"CSC violation on {signal!r} (code {code:0{nv}b})"
+            )
+        seen[code] = value
+        if previous is None:
+            (on if value else off).append(code)
+    if dc_policy == "dc":
+        dc = set(range(1 << nv)) - set(on) - set(off)
+    elif dc_policy == "off":
+        dc = set()
+    else:
+        raise SynthesisError(f"unknown dc_policy {dc_policy!r}")
+    primes = compute_primes(on, dc, nv)
+    if cover == "irredundant":
+        return irredundant_cover(primes, on), on, off
+    if cover == "complete":
+        return list(primes), on, off
+    if cover == "hazard-aware":
+        chosen, _ = hazard_aware_cover(primes, on, hold_pairs(sg, signal))
+        return chosen, on, off
+    raise SynthesisError(f"unknown cover {cover!r}")
+
+
+def hold_pairs(sg: StateGraph, signal: str) -> List[Tuple[int, int]]:
+    """Static-1 hand-off pairs of NS(signal) (see hazard_aware_cover).
+
+    One pair per state-graph edge across which the function stays 1 —
+    including the edge where ``signal`` itself rises, whose firing cube
+    must keep covering the new code once the feedback input flips.
+    """
+    pairs = set()
+    for sid in range(sg.n_states):
+        f_pre = sg.next_state_value(sid, signal)
+        if not f_pre:
+            continue
+        for _t, nid in sg.edges[sid]:
+            if sg.next_state_value(nid, signal):
+                a, b = sg.code_of(sid), sg.code_of(nid)
+                if a != b:
+                    pairs.add((a, b))
+    return sorted(pairs)
+
+
+def _cube_expr(cube: Cube, var_names: Sequence[str], nv: int) -> Expr:
+    """Expression for one product term."""
+    lits: List[Expr] = []
+    for var, polarity in cube.literals(nv):
+        v: Expr = Var(var_names[var])
+        lits.append(v if polarity else Not(v))
+    if not lits:
+        return Const(1)
+    return and_all(lits)
+
+
+def _cover_expr(cover: Sequence[Cube], var_names: Sequence[str], nv: int) -> Expr:
+    if not cover:
+        return Const(0)
+    return or_all([_cube_expr(c, var_names, nv) for c in cover])
+
+
+def synthesize(
+    stg: Stg,
+    style: str = "complex",
+    cover: Optional[str] = None,
+    sg: Optional[StateGraph] = None,
+    k: Optional[int] = None,
+    dc_policy: Optional[str] = None,
+) -> Circuit:
+    """Synthesize a gate-level circuit from an STG.
+
+    ``style`` is ``"complex"`` (speed-independent, default cover
+    ``"irredundant"``) or ``"two-level"`` (structural SOP, default cover
+    ``"hazard-aware"`` — the redundant hazard-free covers modelling the
+    SIS flow).  Unreachable codes are don't-cares by default
+    (``dc_policy="dc"``).  Raises :class:`~repro.errors.CscError` when
+    the STG lacks complete state coding, like Petrify would.
+    """
+    if sg is None:
+        sg = build_state_graph(stg)
+    require_csc(sg)
+    if cover is None:
+        cover = "irredundant" if style == "complex" else "hazard-aware"
+    if dc_policy is None:
+        dc_policy = "dc"
+    signals = stg.signals
+    nv = len(signals)
+    # Logic reads buffered inputs and gate outputs:
+    var_names = [
+        buffer_name(s) if stg.is_input(s) else s for s in signals
+    ]
+    circuit = Circuit(f"{stg.name}-{style}")
+    for s in stg.inputs:
+        circuit.add_input(s)
+    for s in stg.inputs:
+        circuit.add_gate(buffer_name(s), gtype="BUF", inputs=[s])
+
+    for signal in stg.non_input_signals:
+        cubes, on, off = next_state_cover(sg, signal, cover, dc_policy)
+        if style == "complex":
+            circuit.add_gate(signal, expr=_cover_expr(cubes, var_names, nv))
+        elif style == "two-level":
+            if not cubes:
+                circuit.add_gate(signal, expr=Const(0))
+                continue
+            product_names: List[str] = []
+            for i, cube in enumerate(cubes):
+                pname = f"{signal}$p{i}"
+                circuit.add_gate(pname, expr=_cube_expr(cube, var_names, nv))
+                product_names.append(pname)
+            if len(product_names) == 1:
+                # Keep the single product as the signal's own gate name by
+                # adding an OR-buffer; a plain buffer keeps fault sites
+                # comparable across signals.
+                circuit.add_gate(signal, gtype="BUF", inputs=product_names)
+            else:
+                circuit.add_gate(signal, gtype="OR", inputs=product_names)
+        else:
+            raise SynthesisError(f"unknown synthesis style {style!r}")
+
+    for s in stg.outputs:
+        circuit.mark_output(s)
+
+    # Reset state: the STG's initial code, buffers tracking their inputs.
+    code0 = sg.code_of(sg.initial)
+    reset: Dict[str, int] = {}
+    for i, s in enumerate(signals):
+        value = (code0 >> i) & 1
+        if stg.is_input(s):
+            reset[s] = value
+            reset[buffer_name(s)] = value
+        else:
+            reset[s] = value
+    if "two-level" == style:
+        # Product gates settle to their function value at the reset code.
+        full_code = {var_names[i]: (code0 >> i) & 1 for i in range(nv)}
+        for gate_name, cube_expr_pairs in _product_resets(circuit, full_code):
+            reset[gate_name] = cube_expr_pairs
+    circuit.set_reset(reset)
+    if k is not None:
+        circuit.set_k(k)
+    circuit.finalize()
+    if not circuit.is_stable(circuit.require_reset()):
+        raise SynthesisError(
+            f"internal error: synthesized reset state of {stg.name} is unstable"
+        )
+    return circuit
+
+
+def _product_resets(circuit: Circuit, values: Dict[str, int]):
+    """Evaluate product-gate expressions at the reset code.
+
+    Product gates only read buffered inputs and signal gates, whose reset
+    values are already known, so one bottom-free pass suffices.
+    """
+    from repro.circuit.expr import eval_binary
+
+    # Temporarily build an index map covering the known names.
+    pending = []
+    for name, expr, _ in circuit._gate_defs:  # noqa: SLF001 (pre-finalize peek)
+        if "$p" in name:
+            pending.append((name, expr))
+    results = []
+    for name, expr in pending:
+        results.append((name, _eval_expr(expr, values)))
+    return results
+
+
+def _eval_expr(expr: Expr, values: Dict[str, int]) -> int:
+    from repro.circuit.expr import And, Const, Not, Or, Var, Xor
+
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        return values[expr.name]
+    if isinstance(expr, Not):
+        return 1 - _eval_expr(expr.arg, values)
+    if isinstance(expr, And):
+        return int(all(_eval_expr(a, values) for a in expr.args))
+    if isinstance(expr, Or):
+        return int(any(_eval_expr(a, values) for a in expr.args))
+    if isinstance(expr, Xor):
+        return _eval_expr(expr.a, values) ^ _eval_expr(expr.b, values)
+    raise SynthesisError(f"unknown expression node {expr!r}")

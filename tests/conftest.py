@@ -1,0 +1,77 @@
+"""Shared fixtures: small well-understood circuits used across the suite."""
+
+import pytest
+
+from repro.circuit.parser import parse_netlist
+
+CELEM_NET = """
+.model celem
+.inputs A B
+.gate a BUF A
+.gate b BUF B
+.gate c CELEM a b
+.outputs c
+.reset A=0 B=0 a=0 b=0 c=0
+"""
+
+OSCILLATOR_NET = """
+.model osc
+.inputs A
+.gate a BUF A
+.expr c = ~(a & d)
+.gate d BUF c
+.outputs d
+.reset A=0 a=0 c=1 d=1
+"""
+
+RACE_NET = """
+.model race
+.inputs A B
+.gate a BUF A
+.gate b BUF B
+.gate c AND2 a b
+.expr y = c | (y & a)
+.outputs y
+.reset A=0 B=1 a=0 b=1 c=0 y=0
+"""
+
+HANDSHAKE_G = """
+.model hs
+.inputs ri
+.outputs ro ai
+.graph
+ri+ ro+
+ro+ ai+
+ai+ ri-
+ri- ro-
+ro- ai-
+ai- ri+
+.marking { <ai-,ri+> }
+.end
+"""
+
+
+@pytest.fixture
+def celem():
+    """Buffered Muller C-element: confluent for joint input changes,
+    racy for opposing ones."""
+    return parse_netlist(CELEM_NET)
+
+
+@pytest.fixture
+def oscillator():
+    """The figure-1(b) reconstruction: A+ starts an endless chase."""
+    return parse_netlist(OSCILLATOR_NET)
+
+
+@pytest.fixture
+def race():
+    """The figure-1(a) reconstruction: AB=10 is non-confluent."""
+    return parse_netlist(RACE_NET)
+
+
+@pytest.fixture
+def handshake_stg():
+    from repro.stg.parser import parse_stg
+
+    return parse_stg(HANDSHAKE_G)

@@ -1,0 +1,96 @@
+"""Parallel fault simulation: batch-of-W must equal W scalar runs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.faults import fault_universe, input_fault_universe
+from repro.sgraph.cssg import build_cssg
+from repro.sim import ternary
+from repro.sim.batch import FaultBatch
+
+
+def walk_patterns(cssg, seed, length):
+    rng = random.Random(seed)
+    return cssg.random_walk(rng, length)
+
+
+@pytest.mark.parametrize("model", ["input", "output"])
+def test_batch_equals_scalar_on_celem(celem, model):
+    faults = fault_universe(celem, model)
+    cssg = build_cssg(celem)
+    patterns = walk_patterns(cssg, seed=4, length=6)
+    batch = FaultBatch(celem, faults)
+    bstate = batch.reset_and_settle(cssg.reset)
+    scalar = [
+        ternary.settle_from_reset(celem, cssg.reset, f) for f in faults
+    ]
+    for j in range(len(faults)):
+        assert batch.machine_state(bstate, j) == scalar[j]
+    for pattern in patterns:
+        bstate = batch.apply(bstate, pattern)
+        scalar = [
+            ternary.apply_pattern(celem, s, pattern, f)
+            for s, f in zip(scalar, faults)
+        ]
+        for j in range(len(faults)):
+            assert batch.machine_state(bstate, j) == scalar[j]
+
+
+def test_observe_matches_scalar_detects(celem):
+    faults = input_fault_universe(celem)
+    cssg = build_cssg(celem)
+    batch = FaultBatch(celem, faults)
+    bstate = batch.reset_and_settle(cssg.reset)
+    good = cssg.reset
+    for pattern in walk_patterns(cssg, seed=9, length=8):
+        good = cssg.edges[good][pattern]
+        bstate = batch.apply(bstate, pattern)
+        mask = batch.observe(bstate, good)
+        for j, fault in enumerate(faults):
+            expected = ternary.detects(
+                celem, good, batch.machine_state(bstate, j)
+            )
+            assert bool((mask >> j) & 1) == expected
+
+
+def test_empty_batch(celem):
+    batch = FaultBatch(celem, [])
+    assert batch.width == 0
+    state = batch.reset_and_settle()
+    assert batch.observe(state, celem.require_reset()) == 0
+
+
+def test_broadcast_is_definite(celem):
+    faults = input_fault_universe(celem)[:3]
+    batch = FaultBatch(celem, faults)
+    low, high = batch.broadcast(celem.require_reset())
+    for i in range(celem.n_signals):
+        assert (low[i] & high[i]) == 0
+        assert (low[i] | high[i]) == batch.ones
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31), st.integers(1, 10))
+def test_batch_equals_scalar_random_walks(seed, length):
+    """Property: for random walks over the benchmark 'dff', every machine
+    in the batch equals its scalar ternary twin after every cycle."""
+    from repro.benchmarks_data import load_benchmark
+
+    circuit = load_benchmark("dff", "complex")
+    faults = input_fault_universe(circuit)
+    cssg = build_cssg(circuit)
+    patterns = walk_patterns(cssg, seed, length)
+    batch = FaultBatch(circuit, faults)
+    bstate = batch.reset_and_settle(cssg.reset)
+    scalar = [ternary.settle_from_reset(circuit, cssg.reset, f) for f in faults]
+    for pattern in patterns:
+        bstate = batch.apply(bstate, pattern)
+        scalar = [
+            ternary.apply_pattern(circuit, s, pattern, f)
+            for s, f in zip(scalar, faults)
+        ]
+    for j in range(len(faults)):
+        assert batch.machine_state(bstate, j) == scalar[j]

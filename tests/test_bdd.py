@@ -1,0 +1,190 @@
+"""The ROBDD engine vs brute-force truth tables."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.errors import BddError
+
+NV = 4
+
+
+def brute(fn):
+    """Truth table of fn(assignment tuple) over NV variables."""
+    return [fn(tuple((m >> i) & 1 for i in range(NV))) for m in range(1 << NV)]
+
+
+def bdd_table(mgr, f):
+    return [mgr.eval(f, [(m >> i) & 1 for i in range(NV)]) for m in range(1 << NV)]
+
+
+@pytest.fixture
+def mgr():
+    return BddManager(NV)
+
+
+def test_terminals_and_vars(mgr):
+    assert mgr.eval(TRUE, [0] * NV) == 1
+    assert mgr.eval(FALSE, [1] * NV) == 0
+    x1 = mgr.var(1)
+    assert bdd_table(mgr, x1) == brute(lambda a: a[1])
+    assert bdd_table(mgr, mgr.nvar(1)) == brute(lambda a: 1 - a[1])
+
+
+def test_var_bounds(mgr):
+    with pytest.raises(BddError):
+        mgr.var(NV)
+
+
+def test_canonicity_equal_functions_same_handle(mgr):
+    a, b = mgr.var(0), mgr.var(1)
+    f1 = mgr.apply_or(mgr.apply_and(a, b), mgr.apply_and(a, mgr.apply_not(b)))
+    assert f1 == a  # ab + a~b == a
+    g = mgr.apply_not(mgr.apply_not(b))
+    assert g == b
+
+
+def test_basic_ops(mgr):
+    a, b, c = mgr.var(0), mgr.var(1), mgr.var(2)
+    f = mgr.apply_and(mgr.apply_or(a, b), mgr.apply_xor(b, c))
+    assert bdd_table(mgr, f) == brute(lambda t: (t[0] | t[1]) & (t[1] ^ t[2]))
+    assert bdd_table(mgr, mgr.apply_iff(a, c)) == brute(lambda t: int(t[0] == t[2]))
+
+
+def test_and_all_or_all_short_circuit(mgr):
+    a = mgr.var(0)
+    assert mgr.and_all([a, FALSE, mgr.var(1)]) == FALSE
+    assert mgr.or_all([a, TRUE]) == TRUE
+    assert mgr.and_all([]) == TRUE
+    assert mgr.or_all([]) == FALSE
+
+
+def test_exists_forall(mgr):
+    a, b = mgr.var(0), mgr.var(1)
+    f = mgr.apply_and(a, b)
+    assert mgr.exists(f, [0]) == b
+    assert mgr.forall(f, [0]) == FALSE
+    g = mgr.apply_or(a, b)
+    assert mgr.forall(g, [0]) == b
+
+
+def test_and_exists_is_relational_product(mgr):
+    a, b, c = mgr.var(0), mgr.var(1), mgr.var(2)
+    f = mgr.apply_or(mgr.apply_and(a, b), c)
+    g = mgr.apply_xor(a, b)
+    direct = mgr.exists(mgr.apply_and(f, g), [0, 1])
+    fused = mgr.and_exists(f, g, [0, 1])
+    assert direct == fused
+
+
+def test_rename_order_preserving(mgr):
+    b = mgr.var(1)
+    f = mgr.apply_and(b, mgr.var(3))
+    g = mgr.rename(f, {1: 0, 3: 2})
+    assert bdd_table(mgr, g) == brute(lambda t: t[0] & t[2])
+    with pytest.raises(BddError):
+        mgr.rename(f, {1: 2, 3: 0})  # order-inverting
+
+
+def test_restrict(mgr):
+    a, b = mgr.var(0), mgr.var(1)
+    f = mgr.apply_xor(a, b)
+    assert mgr.restrict(f, {0: 0}) == b
+    assert mgr.restrict(f, {0: 1}) == mgr.apply_not(b)
+
+
+def test_sat_count_and_iter(mgr):
+    a, b = mgr.var(0), mgr.var(1)
+    f = mgr.apply_or(a, b)
+    assert mgr.sat_count(f) == 3 * (1 << (NV - 2))
+    assert mgr.sat_count(f, [0, 1]) == 3
+    sols = list(mgr.sat_iter(f, [0, 1]))
+    assert sorted((s[0], s[1]) for s in sols) == [(0, 1), (1, 0), (1, 1)]
+    assert mgr.sat_count(FALSE, [0]) == 0
+    assert mgr.sat_count(TRUE, [0, 1]) == 4
+
+
+def test_support_and_size(mgr):
+    a, c = mgr.var(0), mgr.var(2)
+    f = mgr.apply_and(a, c)
+    assert mgr.support(f) == [0, 2]
+    assert mgr.size(f) == 2
+    assert mgr.support(TRUE) == []
+
+
+# -- property tests against brute force --------------------------------------
+
+def boolfuns():
+    """Random expression builders as (python fn, bdd builder fn) pairs."""
+    leaf = st.sampled_from(
+        [(lambda t, i=i: t[i], lambda m, i=i: m.var(i)) for i in range(NV)]
+        + [(lambda t: 0, lambda m: FALSE), (lambda t: 1, lambda m: TRUE)]
+    )
+
+    def combine(children):
+        return st.sampled_from(["and", "or", "xor", "not"]).flatmap(
+            lambda op: (
+                children.map(
+                    lambda x: (lambda t: 1 - x[0](t), lambda m: m.apply_not(x[1](m)))
+                )
+                if op == "not"
+                else st.tuples(children, children).map(
+                    lambda pair: _combine(op, pair)
+                )
+            )
+        )
+
+    return st.recursive(leaf, combine, max_leaves=10)
+
+
+def _combine(op, pair):
+    (fa, ba), (fb, bb) = pair
+    if op == "and":
+        return (lambda t: fa(t) & fb(t), lambda m: m.apply_and(ba(m), bb(m)))
+    if op == "or":
+        return (lambda t: fa(t) | fb(t), lambda m: m.apply_or(ba(m), bb(m)))
+    return (lambda t: fa(t) ^ fb(t), lambda m: m.apply_xor(ba(m), bb(m)))
+
+
+@settings(max_examples=120, deadline=None)
+@given(boolfuns())
+def test_random_functions_match_brute_force(pair):
+    fn, build = pair
+    mgr = BddManager(NV)
+    f = build(mgr)
+    assert bdd_table(mgr, f) == brute(fn)
+
+
+@settings(max_examples=60, deadline=None)
+@given(boolfuns(), st.sets(st.integers(0, NV - 1)))
+def test_exists_matches_brute_force(pair, variables):
+    fn, build = pair
+    mgr = BddManager(NV)
+    f = mgr.exists(build(mgr), sorted(variables))
+
+    def quantified(t):
+        results = []
+
+        def rec(assign, rest):
+            if not rest:
+                results.append(fn(tuple(assign)))
+                return
+            i, *more = rest
+            for v in (0, 1):
+                assign[i] = v
+                rec(assign, more)
+
+        rec(list(t), sorted(variables))
+        return 1 if any(results) else 0
+
+    assert bdd_table(mgr, f) == brute(quantified)
+
+
+@settings(max_examples=60, deadline=None)
+@given(boolfuns())
+def test_sat_count_matches_brute_force(pair):
+    fn, build = pair
+    mgr = BddManager(NV)
+    f = build(mgr)
+    assert mgr.sat_count(f) == sum(brute(fn))

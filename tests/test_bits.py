@@ -1,0 +1,69 @@
+"""Unit tests for the packed bit-vector helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._bits import (
+    bit,
+    bits_to_str,
+    flip_bit,
+    hamming,
+    iter_set_bits,
+    mask,
+    popcount,
+    set_bit,
+    str_to_bits,
+)
+
+
+def test_bit_and_set_bit():
+    state = 0b1010
+    assert bit(state, 0) == 0
+    assert bit(state, 1) == 1
+    assert set_bit(state, 0, 1) == 0b1011
+    assert set_bit(state, 1, 0) == 0b1000
+    assert set_bit(state, 1, 1) == state
+
+
+def test_flip_bit():
+    assert flip_bit(0b100, 2) == 0
+    assert flip_bit(0, 3) == 0b1000
+
+
+def test_mask():
+    assert mask(0) == 0
+    assert mask(3) == 0b111
+
+
+def test_popcount_and_iter():
+    assert popcount(0b1011) == 3
+    assert list(iter_set_bits(0b1011)) == [0, 1, 3]
+    assert list(iter_set_bits(0)) == []
+
+
+def test_bits_to_str_is_lsb_first():
+    # The paper writes states signal-ordered; our bit 0 prints first.
+    assert bits_to_str(0b01, 2) == "10"
+    assert bits_to_str(0b110, 3) == "011"
+
+
+def test_str_to_bits_rejects_garbage():
+    with pytest.raises(ValueError):
+        str_to_bits("01x")
+
+
+def test_hamming():
+    assert hamming(0b1010, 0b0110) == 2
+    assert hamming(5, 5) == 0
+
+
+@given(st.integers(min_value=0, max_value=(1 << 24) - 1), st.integers(1, 24))
+def test_str_roundtrip(value, n):
+    value &= mask(n)
+    assert str_to_bits(bits_to_str(value, n)) == value
+
+
+@given(st.integers(min_value=0, max_value=1 << 30))
+def test_popcount_matches_iter(value):
+    assert popcount(value) == len(list(iter_set_bits(value)))

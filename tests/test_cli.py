@@ -1,0 +1,63 @@
+"""The repro-atpg command line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "ebergen" in out and "vbe10b" in out
+
+
+def test_run_bundled_benchmark(capsys):
+    assert main(["hazard", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "hazard-complex" in out
+    assert "covered" in out
+
+
+def test_run_two_level_output_model(capsys):
+    assert main(["hazard", "--style", "two-level", "--model", "output"]) == 0
+    assert "two-level" in capsys.readouterr().out
+
+
+def test_show_tests_and_undetected(capsys):
+    assert main(["ebergen", "--show-tests", "--show-undetected"]) == 0
+    out = capsys.readouterr().out
+    assert "test 0" in out
+    assert "undetected" in out  # ebergen has two untestable feedback pins
+
+
+def test_run_netlist_file(tmp_path, capsys):
+    net = tmp_path / "toy.net"
+    net.write_text(
+        ".model toy\n.inputs A\n.gate a BUF A\n.gate y BUF a\n"
+        ".outputs y\n.reset A=0 a=0 y=0\n"
+    )
+    assert main([str(net)]) == 0
+    assert "toy" in capsys.readouterr().out
+
+
+def test_missing_argument(capsys):
+    assert main([]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_nonexistent_path(capsys):
+    assert main(["no/such/file.net"]) == 2
+    assert "neither" in capsys.readouterr().err
+
+
+def test_library_error_is_reported(tmp_path, capsys):
+    net = tmp_path / "bad.net"
+    net.write_text(".inputs A\n.gate g FROB A\n")
+    assert main([str(net)]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_no_random_flag(capsys):
+    assert main(["hazard", "--no-random"]) == 0
+    out = capsys.readouterr().out
+    assert "rnd 0," in out

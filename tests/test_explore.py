@@ -1,0 +1,71 @@
+"""Exhaustive settling analysis (the TCR_k validity oracle)."""
+
+import pytest
+
+from repro.errors import StateGraphError
+from repro.sgraph.explore import settle_report
+
+
+def test_stable_state_reports_itself(celem):
+    reset = celem.require_reset()
+    report = settle_report(celem, reset)
+    assert report.confluent
+    assert report.stable_states == frozenset([reset])
+    assert report.longest_path == 0
+    assert report.valid(k=0)
+
+
+def test_confluent_rise(celem):
+    started = celem.apply_input_pattern(celem.require_reset(), 0b11)
+    report = settle_report(celem, started)
+    assert report.confluent and not report.oscillating
+    settled = report.unique_stable
+    assert celem.value(settled, "c") == 1
+    # a, b, c must all switch: longest interleaving is exactly 3.
+    assert report.longest_path == 3
+    assert report.valid(3) and not report.valid(2)
+
+
+def test_nonconfluence_detected(race):
+    # Figure 1(a): both settle states are stable, differing in y.
+    started = race.apply_input_pattern(race.require_reset(), 0b01)
+    report = settle_report(race, started)
+    assert report.nonconfluent
+    assert len(report.stable_states) == 2
+    ys = {race.value(s, "y") for s in report.stable_states}
+    assert ys == {0, 1}
+    assert not report.valid(k=100)
+
+
+def test_oscillation_detected(oscillator):
+    started = oscillator.apply_input_pattern(oscillator.require_reset(), 1)
+    report = settle_report(oscillator, started)
+    assert report.oscillating
+    assert not report.valid(k=10_000)
+    assert report.longest_path is None
+
+
+def test_unique_stable_raises_when_ambiguous(race):
+    started = race.apply_input_pattern(race.require_reset(), 0b01)
+    report = settle_report(race, started)
+    with pytest.raises(StateGraphError):
+        _ = report.unique_stable
+
+
+def test_truncation_cap(celem):
+    started = celem.apply_input_pattern(celem.require_reset(), 0b11)
+    report = settle_report(celem, started, cap=2)
+    assert report.truncated
+    assert not report.valid(k=100)
+
+
+def test_opposing_edges_race_on_celem(celem):
+    """From c=1 with one input already low, raising it while dropping the
+    other creates the classic C-element hazard."""
+    up = celem.state_of({"A": 1, "B": 1, "a": 1, "b": 1, "c": 1})
+    assert celem.is_stable(up)
+    half = celem.state_of({"A": 1, "B": 0, "a": 1, "b": 0, "c": 1})
+    assert celem.is_stable(half)
+    started = celem.apply_input_pattern(half, 0b10)  # A-, B+ together
+    report = settle_report(celem, started)
+    assert report.nonconfluent

@@ -1,0 +1,175 @@
+"""Expression AST, parser, compilation and the three evaluation domains."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.expr import (
+    And,
+    Const,
+    Not,
+    Or,
+    Var,
+    Xor,
+    and_all,
+    compile_expr,
+    eval_binary,
+    eval_ternary,
+    or_all,
+    parse_expr,
+    program_vars,
+)
+from repro.errors import ParseError
+
+NAMES = ["a", "b", "c", "d"]
+INDEX = {n: i for i, n in enumerate(NAMES)}
+
+
+def bits_getv(state):
+    return lambda sig: (((~state) >> sig) & 1, (state >> sig) & 1)
+
+
+# -- parsing ---------------------------------------------------------------
+
+def test_parse_precedence():
+    # ~ binds tighter than &, & tighter than ^, ^ tighter than |.
+    e = parse_expr("a | b ^ c & ~d")
+    assert str(e) == "a | (b ^ (c & ~d))"
+
+
+def test_parse_parentheses():
+    e = parse_expr("(a | b) & c")
+    assert isinstance(e, And)
+
+
+def test_parse_constants_and_bang():
+    assert parse_expr("0") == Const(0)
+    assert parse_expr("!a") == Not(Var("a"))
+
+
+@pytest.mark.parametrize("text", ["a &", "(a | b", "a b", "a | | b", ""])
+def test_parse_errors(text):
+    with pytest.raises(ParseError):
+        parse_expr(text)
+
+
+def test_parse_error_carries_position():
+    with pytest.raises(ParseError) as excinfo:
+        parse_expr("a &", filename="f.net", line=7)
+    assert "f.net:7" in str(excinfo.value)
+
+
+# -- AST utilities -----------------------------------------------------------
+
+def test_vars_first_appearance_order():
+    assert parse_expr("c & a | c & b").vars() == ["c", "a", "b"]
+
+
+def test_operator_sugar():
+    e = (Var("a") & Var("b")) | ~Var("c")
+    assert str(e) == "(a & b) | ~c"
+    assert (Var("a") ^ Var("b")) == Xor(Var("a"), Var("b"))
+
+
+def test_and_or_all_degenerate():
+    assert and_all([]) == Const(1)
+    assert or_all([]) == Const(0)
+    assert and_all([Var("a")]) == Var("a")
+
+
+def test_nary_constructors_reject_singletons():
+    with pytest.raises(ValueError):
+        And((Var("a"),))
+    with pytest.raises(ValueError):
+        Or((Var("a"),))
+    with pytest.raises(ValueError):
+        Const(2)
+
+
+# -- compile + binary eval ----------------------------------------------------
+
+def test_compile_unknown_var_raises_keyerror():
+    with pytest.raises(KeyError):
+        compile_expr(Var("zz"), INDEX)
+
+
+def test_program_vars_sorted_unique():
+    prog = compile_expr(parse_expr("b & a | b"), INDEX)
+    assert program_vars(prog) == (0, 1)
+
+
+@pytest.mark.parametrize(
+    "text,table",
+    [
+        ("a & b", [0, 0, 0, 1]),
+        ("a | b", [0, 1, 1, 1]),
+        ("a ^ b", [0, 1, 1, 0]),
+        ("~a", [1, 0, 1, 0]),
+        ("~(a & b) | 0", [1, 1, 1, 0]),
+    ],
+)
+def test_binary_eval_truth_tables(text, table):
+    prog = compile_expr(parse_expr(text), INDEX)
+    got = [eval_binary(prog, state) for state in range(4)]
+    assert got == table
+
+
+# -- ternary eval --------------------------------------------------------------
+
+PHI = (1, 1)
+
+
+def test_ternary_not_and_or_xor_with_phi():
+    prog_and = compile_expr(parse_expr("a & b"), INDEX)
+    # a = phi, b = 0 -> 0 (AND absorbs)
+    getv = {0: PHI, 1: (1, 0)}.get
+    assert eval_ternary(prog_and, getv) == (1, 0)
+    # a = phi, b = 1 -> phi
+    getv = {0: PHI, 1: (0, 1)}.get
+    assert eval_ternary(prog_and, getv) == PHI
+    prog_or = compile_expr(parse_expr("a | b"), INDEX)
+    getv = {0: PHI, 1: (0, 1)}.get
+    assert eval_ternary(prog_or, getv) == (0, 1)
+    prog_xor = compile_expr(parse_expr("a ^ b"), INDEX)
+    getv = {0: PHI, 1: (0, 1)}.get
+    assert eval_ternary(prog_xor, getv) == PHI
+
+
+# Random expression trees for the property tests.
+def exprs(depth=4):
+    leaf = st.sampled_from([Var(n) for n in NAMES] + [Const(0), Const(1)])
+    return st.recursive(
+        leaf,
+        lambda sub: st.one_of(
+            sub.map(Not),
+            st.tuples(sub, sub).map(lambda t: And(t)),
+            st.tuples(sub, sub).map(lambda t: Or(t)),
+            st.tuples(sub, sub).map(lambda t: Xor(*t)),
+        ),
+        max_leaves=12,
+    )
+
+
+@given(exprs(), st.integers(0, 15))
+def test_ternary_agrees_with_binary_on_definite_inputs(expr, state):
+    prog = compile_expr(expr, INDEX)
+    expected = eval_binary(prog, state)
+    got = eval_ternary(prog, bits_getv(state))
+    assert got == ((1, 0) if expected == 0 else (0, 1))
+
+
+@given(exprs(), st.integers(0, 15), st.integers(0, 15))
+def test_ternary_is_monotone_in_information_order(expr, state, phi_mask):
+    """Lifting some inputs to phi can only lose information: the ternary
+    result must still admit the binary result of every refinement."""
+    prog = compile_expr(expr, INDEX)
+
+    def getv(sig):
+        if (phi_mask >> sig) & 1:
+            return PHI
+        return bits_getv(state)(sig)
+
+    low, high = eval_ternary(prog, getv)
+    value = eval_binary(prog, state)
+    # The definite evaluation must be contained in the ternary one.
+    assert (low, high) in (PHI, ((1, 0) if value == 0 else (0, 1)))

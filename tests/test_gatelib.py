@@ -1,0 +1,98 @@
+"""Gate library semantics."""
+
+import pytest
+
+from repro.circuit.expr import compile_expr, eval_binary
+from repro.circuit.gatelib import GATE_TYPES, build_gate_expr
+from repro.errors import NetlistError
+
+INDEX = {"a": 0, "b": 1, "c": 2, "q": 3, "s": 4, "r": 5}
+
+
+def table(gtype, out, ins, n):
+    expr = build_gate_expr(gtype, out, ins)
+    prog = compile_expr(expr, INDEX)
+    return [eval_binary(prog, state) for state in range(1 << n)]
+
+
+def test_buf_inv():
+    assert table("BUF", "q", ["a"], 1) == [0, 1]
+    assert table("INV", "q", ["a"], 1) == [1, 0]
+
+
+def test_basic_two_input_gates():
+    assert table("AND2", "q", ["a", "b"], 2) == [0, 0, 0, 1]
+    assert table("NAND2", "q", ["a", "b"], 2) == [1, 1, 1, 0]
+    assert table("OR2", "q", ["a", "b"], 2) == [0, 1, 1, 1]
+    assert table("NOR2", "q", ["a", "b"], 2) == [1, 0, 0, 0]
+    assert table("XOR2", "q", ["a", "b"], 2) == [0, 1, 1, 0]
+    assert table("XNOR2", "q", ["a", "b"], 2) == [1, 0, 0, 1]
+
+
+def test_mux_is_s_selects_first():
+    # MUX21 s a b = s ? a : b; vars s=bit4, a=bit0, b=bit1
+    expr = build_gate_expr("MUX21", "q", ["s", "a", "b"])
+    prog = compile_expr(expr, INDEX)
+    for s in (0, 1):
+        for a in (0, 1):
+            for b in (0, 1):
+                state = a | (b << 1) | (s << 4)
+                assert eval_binary(prog, state) == (a if s else b)
+
+
+def test_maj3():
+    got = table("MAJ3", "q", ["a", "b", "c"], 3)
+    assert got == [0, 0, 0, 1, 0, 1, 1, 1]
+
+
+def test_celem_holds_on_disagreement():
+    # q' = ab + q(a+b): with q=1 any single input keeps it high.
+    expr = build_gate_expr("CELEM", "q", ["a", "b"])
+    prog = compile_expr(expr, INDEX)
+    q = 1 << 3
+    assert eval_binary(prog, 0b11) == 1          # both high -> rise
+    assert eval_binary(prog, 0b00 | q) == 0      # both low -> fall
+    assert eval_binary(prog, 0b01 | q) == 1      # hold
+    assert eval_binary(prog, 0b01) == 0          # stay low
+
+
+def test_celemn_inverts_last_input():
+    expr = build_gate_expr("CELEMN", "q", ["a", "r"])
+    prog = compile_expr(expr, INDEX)
+    r = 1 << 5
+    q = 1 << 3
+    assert eval_binary(prog, 0b1) == 1           # a=1, r=0 -> set
+    assert eval_binary(prog, r | q | 1) == 1     # hold: a=1 keeps or-term
+    assert eval_binary(prog, r | q) == 0         # a=0, r=1 -> reset
+
+
+def test_sr_set_dominant():
+    expr = build_gate_expr("SR", "q", ["s", "r"])
+    prog = compile_expr(expr, INDEX)
+    s, r, q = 1 << 4, 1 << 5, 1 << 3
+    assert eval_binary(prog, s | r) == 1         # set wins
+    assert eval_binary(prog, q) == 1             # hold
+    assert eval_binary(prog, q | r) == 0         # reset
+
+
+def test_constants():
+    assert table("ZERO", "q", [], 1) == [0, 0]
+    assert table("ONE", "q", [], 1) == [1, 1]
+
+
+def test_arity_errors():
+    with pytest.raises(NetlistError):
+        build_gate_expr("AND2", "q", ["a"])
+    with pytest.raises(NetlistError):
+        build_gate_expr("BUF", "q", ["a", "b"])
+    with pytest.raises(NetlistError):
+        build_gate_expr("CELEM", "q", ["a"])
+
+
+def test_unknown_type():
+    with pytest.raises(NetlistError):
+        build_gate_expr("FROB", "q", ["a"])
+
+
+def test_gate_type_table_is_callable_everywhere():
+    assert all(callable(fn) for fn in GATE_TYPES.values())

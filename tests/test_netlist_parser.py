@@ -1,0 +1,85 @@
+"""The .net format: parsing, diagnostics, round-tripping."""
+
+import pytest
+
+from repro.circuit.parser import netlist_to_text, parse_netlist
+from repro.errors import ParseError
+
+GOOD = """
+# comment
+.model demo
+.inputs A B
+.gate a BUF A
+.gate b BUF B
+.gate c CELEM a b
+.expr d = (a & ~b) | c
+.outputs c d
+.reset A=0 B=0 a=0 b=0 c=0 d=0
+.k 12
+.end
+"""
+
+
+def test_parse_good():
+    c = parse_netlist(GOOD)
+    assert c.name == "demo"
+    assert c.n_inputs == 2
+    assert c.n_gates == 4
+    assert c.output_names == ("c", "d")
+    assert c.k == 12
+    assert c.reset_state == 0
+
+
+def test_comments_and_blank_lines_ignored():
+    c = parse_netlist("\n# hi\n.inputs A\n.gate g BUF A\n")
+    assert c.n_gates == 1
+
+
+@pytest.mark.parametrize(
+    "line,message",
+    [
+        (".model a b", "one name"),
+        (".gate g", "expects OUT"),
+        (".expr g a & b", "OUT = EXPR"),
+        (".reset A", "assignment"),
+        (".reset A=2", "0/1"),
+        (".k x", "integer"),
+        (".frobnicate", "unknown directive"),
+    ],
+)
+def test_directive_errors(line, message):
+    with pytest.raises(ParseError, match=message):
+        parse_netlist(f".inputs A\n{line}\n.gate g BUF A\n")
+
+
+def test_error_reports_line_number():
+    with pytest.raises(ParseError) as excinfo:
+        parse_netlist(".inputs A\n.gate g FROB A\n", filename="x.net")
+    assert excinfo.value.line == 2
+    assert excinfo.value.filename == "x.net"
+
+
+def test_end_stops_parsing():
+    c = parse_netlist(".inputs A\n.gate g BUF A\n.end\n.garbage\n")
+    assert c.n_gates == 1
+
+
+def test_roundtrip_preserves_behaviour():
+    c1 = parse_netlist(GOOD)
+    text = netlist_to_text(c1)
+    c2 = parse_netlist(text)
+    assert c2.n_signals == c1.n_signals
+    assert c2.output_names == c1.output_names
+    assert c2.reset_state == c1.reset_state
+    assert c2.k == c1.k
+    # Behavioural equivalence: identical gate evaluation on every state.
+    for state in range(1 << c1.n_signals):
+        for g1, g2 in zip(c1.gates, c2.gates):
+            assert g1.name == g2.name
+            assert c1.gate_eval(g1, state) == c2.gate_eval(g2, state)
+
+
+def test_roundtrip_keeps_library_gate_lines():
+    text = netlist_to_text(parse_netlist(GOOD))
+    assert ".gate a BUF A" in text
+    assert ".gate c CELEM a b" in text

@@ -1,0 +1,65 @@
+"""Random TPG: coverage, determinism, and no false detections."""
+
+from repro.circuit.faults import input_fault_universe
+from repro.core.random_tpg import random_tpg
+from repro.sgraph.cssg import build_cssg
+from repro.sim import ternary
+
+
+def test_detects_faults_on_celem(celem):
+    cssg = build_cssg(celem)
+    faults = input_fault_universe(celem)
+    detected, tests = random_tpg(cssg, faults, n_walks=8, walk_len=16, seed=0)
+    assert detected  # the C-element is highly random-testable
+    assert all(t.source == "random" for t in tests)
+    covered = {f for t in tests for f in t.faults}
+    assert covered == set(detected)
+
+
+def test_deterministic_given_seed(celem):
+    cssg = build_cssg(celem)
+    faults = input_fault_universe(celem)
+    a = random_tpg(cssg, faults, n_walks=4, walk_len=8, seed=7)
+    b = random_tpg(cssg, faults, n_walks=4, walk_len=8, seed=7)
+    assert a[0] == b[0]
+    assert [t.patterns for t in a[1]] == [t.patterns for t in b[1]]
+
+
+def test_every_reported_detection_is_replayable(celem):
+    """No over-reporting: replaying each recorded sequence with scalar
+    ternary simulation must definitely expose every credited fault."""
+    cssg = build_cssg(celem)
+    faults = input_fault_universe(celem)
+    detected, _tests = random_tpg(cssg, faults, n_walks=8, walk_len=16, seed=3)
+    for fault, patterns in detected.items():
+        good = cssg.reset
+        faulty = ternary.settle_from_reset(celem, cssg.reset, fault)
+        hit = ternary.detects(celem, good, faulty)
+        for pattern in patterns:
+            good = cssg.edges[good][pattern]
+            faulty = ternary.apply_pattern(celem, faulty, pattern, fault)
+            hit = hit or ternary.detects(celem, good, faulty)
+        assert hit, fault.describe(celem)
+
+
+def test_sequences_are_valid_cssg_walks(celem):
+    cssg = build_cssg(celem)
+    faults = input_fault_universe(celem)
+    _, tests = random_tpg(cssg, faults, n_walks=8, walk_len=16, seed=5)
+    for t in tests:
+        cssg.run(t.patterns)  # must not raise
+
+
+def test_zero_walks_detects_nothing(celem):
+    cssg = build_cssg(celem)
+    faults = input_fault_universe(celem)
+    detected, tests = random_tpg(cssg, faults, n_walks=0, walk_len=8, seed=0)
+    assert detected == {} and tests == []
+
+
+def test_walks_stop_when_all_faults_fall(celem):
+    cssg = build_cssg(celem)
+    faults = input_fault_universe(celem)
+    detected, tests = random_tpg(cssg, faults, n_walks=500, walk_len=64, seed=1)
+    # Far fewer walks recorded than requested: coverage saturates.
+    assert len(tests) < 500

@@ -1,0 +1,45 @@
+"""Result-table rendering."""
+
+from repro.benchmarks_data import load_benchmark
+from repro.core.atpg import AtpgEngine, AtpgOptions
+from repro.core.report import TableRow, format_table, result_row
+
+
+def test_result_row_combines_models():
+    circuit = load_benchmark("hazard", "complex")
+    out_res = AtpgEngine(circuit, AtpgOptions(fault_model="output", seed=1)).run()
+    in_res = AtpgEngine(circuit, AtpgOptions(fault_model="input", seed=1)).run()
+    row = result_row("hazard", out_res, in_res)
+    assert row.out_tot == out_res.n_total
+    assert row.in_cov == in_res.n_covered
+    assert row.rnd == in_res.n_random
+    assert row.cpu >= 0
+    assert row.out_fc == 1.0 and row.in_fc == 1.0
+
+
+def test_result_row_without_output_run():
+    circuit = load_benchmark("hazard", "complex")
+    in_res = AtpgEngine(circuit, AtpgOptions(fault_model="input", seed=1)).run()
+    row = result_row("hazard", None, in_res)
+    assert row.out_tot == 0 and row.out_fc == 1.0
+
+
+def test_format_table_layout():
+    rows = [
+        TableRow("alpha", 10, 10, 20, 18, 9, 6, 3, 1.25),
+        TableRow("beta", 8, 6, 12, 9, 5, 4, 0, 0.5),
+    ]
+    text = format_table(rows, title="Demo")
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert "example" in lines[1]
+    assert any("alpha" in line and "1.25" in line for line in lines)
+    assert "Total output-stuck-at FC: 88.89%" in text
+    assert "Total input-stuck-at  FC: 84.38%" in text
+
+
+def test_format_table_handles_empty_totals():
+    rows = [TableRow("x", 0, 0, 4, 4, 4, 0, 0, 0.1)]
+    text = format_table(rows)
+    assert "output-stuck-at" not in text
+    assert "input-stuck-at" in text

@@ -1,0 +1,61 @@
+"""Test-sequence containers and the errors module."""
+
+import pytest
+
+from repro import errors
+from repro.benchmarks_data import load_benchmark
+from repro.circuit.faults import input_fault_universe
+from repro.core.sequences import Test, TestSet
+
+
+def test_test_formatting():
+    circuit = load_benchmark("celem" if False else "hazard", "complex")
+    t = Test((0b1, 0b0), source="random")
+    assert t.format_patterns(circuit) == ["1", "0"]
+    assert len(t) == 2
+
+
+def test_testset_accounting():
+    circuit = load_benchmark("hazard", "complex")
+    faults = input_fault_universe(circuit)
+    ts = TestSet(circuit)
+    ts.add(Test((1,), faults[:2]))
+    ts.add(Test((1, 0), faults[2:3]))
+    assert len(ts) == 2
+    assert ts.n_vectors == 3
+    assert ts.covered_faults() == faults[:3]
+    assert [len(t) for t in ts] == [1, 2]
+
+
+def test_error_hierarchy():
+    for exc in (
+        errors.NetlistError,
+        errors.ParseError,
+        errors.SimulationError,
+        errors.StateGraphError,
+        errors.StgError,
+        errors.ConsistencyError,
+        errors.SafenessError,
+        errors.CscError,
+        errors.SynthesisError,
+        errors.BddError,
+    ):
+        assert issubclass(exc, errors.ReproError)
+    assert issubclass(errors.ConsistencyError, errors.StgError)
+    assert issubclass(errors.CscError, errors.StgError)
+
+
+def test_parse_error_position_formatting():
+    err = errors.ParseError("boom", "file.g", 12)
+    assert str(err) == "file.g:12: boom"
+    assert err.filename == "file.g" and err.line == 12
+    bare = errors.ParseError("boom")
+    assert str(bare) == "boom"
+
+
+def test_public_api_surface():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+    assert repro.__version__ == "1.0.0"

@@ -1,0 +1,106 @@
+"""Cross-model properties: ternary simulation vs exhaustive exploration.
+
+These are the load-bearing soundness relations of the whole approach:
+
+* **conservativeness** — if exhaustive exploration shows non-confluence
+  or a cycle, ternary simulation must report Φ (it may never claim a
+  definite outcome for a racy vector);
+* **agreement** — if ternary is definite, the settling graph is acyclic,
+  confluent, and terminates in exactly the ternary result.
+
+Checked on the fixture circuits and on randomly generated netlists.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.expr import And, Const, Not, Or, Var, Xor
+from repro.circuit.netlist import Circuit
+from repro.sgraph.explore import settle_report
+from repro.sim import ternary
+
+
+def check_agreement(circuit, start_state):
+    """The two analyses must relate correctly for one settling run.
+
+    Note the asymmetry: a definite ternary verdict guarantees a unique
+    stable outcome (and exploration must agree on it), but it does NOT
+    guarantee acyclicity — a transient cycle whose escape is delay-forced
+    (an excited gate that must eventually fire) still settles uniquely.
+    Conversely non-confluence always forces Φ; Φ itself may also stem
+    from wire-delay conservatism on a perfectly confluent circuit.
+    """
+    report = settle_report(circuit, start_state, cap=20_000)
+    result = ternary.settle(
+        circuit, ternary.from_binary(start_state, circuit.n_signals)
+    )
+    if ternary.is_definite(result):
+        assert not report.truncated
+        assert not report.nonconfluent, "definite ternary on a racy vector"
+        assert report.stable_states == frozenset([ternary.to_binary(result)])
+    if report.nonconfluent:
+        assert not ternary.is_definite(result), (
+            "exploration found a race but ternary was definite"
+        )
+
+
+def test_fixture_circuits_every_vector(celem, oscillator, race):
+    for circuit in (celem, oscillator, race):
+        for state in circuit.enumerate_stable_states():
+            for pattern in range(1 << circuit.n_inputs):
+                if pattern == circuit.input_pattern(state):
+                    continue
+                check_agreement(circuit, circuit.apply_input_pattern(state, pattern))
+
+
+# -- random circuits -----------------------------------------------------
+
+SIGNALS = ["a", "b", "g0", "g1", "g2"]
+
+
+def random_expr(draw, depth=0):
+    choice = draw(st.integers(0, 5 if depth < 2 else 1))
+    if choice == 0:
+        return Var(draw(st.sampled_from(SIGNALS)))
+    if choice == 1:
+        return Const(draw(st.integers(0, 1)))
+    if choice == 2:
+        return Not(random_expr(draw, depth + 1))
+    if choice == 3:
+        return And((random_expr(draw, depth + 1), random_expr(draw, depth + 1)))
+    if choice == 4:
+        return Or((random_expr(draw, depth + 1), random_expr(draw, depth + 1)))
+    return Xor(random_expr(draw, depth + 1), random_expr(draw, depth + 1))
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.data())
+def test_random_circuits(data):
+    circuit = Circuit("rand")
+    circuit.add_input("a")
+    circuit.add_input("b")
+    for name in ("g0", "g1", "g2"):
+        circuit.add_gate(name, expr=random_expr(data.draw))
+    circuit.mark_output("g2")
+    circuit.finalize()
+    start = data.draw(st.integers(0, (1 << circuit.n_signals) - 1))
+    check_agreement(circuit, start)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_random_circuits_from_stable_states(data):
+    """Same property, but starting from genuine R_I successors."""
+    circuit = Circuit("rand2")
+    circuit.add_input("a")
+    circuit.add_input("b")
+    for name in ("g0", "g1", "g2"):
+        circuit.add_gate(name, expr=random_expr(data.draw))
+    circuit.finalize()
+    stable = circuit.enumerate_stable_states()
+    if not stable:
+        return
+    state = data.draw(st.sampled_from(stable))
+    pattern = data.draw(st.integers(0, 3))
+    check_agreement(circuit, circuit.apply_input_pattern(state, pattern))

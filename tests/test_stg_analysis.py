@@ -1,0 +1,109 @@
+"""STG health analysis: free-choice, input choice, persistency, deadness."""
+
+import pytest
+
+from repro.benchmarks_data import TABLE1_NAMES, load_benchmark_stg
+from repro.stg.analysis import (
+    analyse_stg,
+    check_dead_signals,
+    check_free_choice,
+    check_input_choice,
+    check_persistency,
+)
+from repro.stg.parser import parse_stg
+from repro.stg.reachability import build_state_graph
+
+
+def test_handshake_is_healthy(handshake_stg):
+    report = analyse_stg(handshake_stg)
+    assert report.healthy
+    assert "healthy" in report.summary()
+
+
+@pytest.mark.parametrize("name", TABLE1_NAMES)
+def test_all_benchmarks_are_healthy(name):
+    report = analyse_stg(load_benchmark_stg(name))
+    assert report.healthy, report.summary()
+
+
+def test_input_choice_detected():
+    # A conflict place resolved by an *output* transition: the circuit
+    # itself would have to choose — not allowed.
+    text = (
+        ".inputs a\n.outputs y z\n.graph\n"
+        "p0 a+\na+ pc\npc y+\npc z+\n"
+        "y+ a-/1\na-/1 y-\ny- p0\n"
+        "z+ a-/2\na-/2 z-\nz- p0\n"
+        ".marking { p0 }\n"
+    )
+    stg = parse_stg(text)
+    assert check_input_choice(stg) == ["pc"]
+    report = analyse_stg(stg)
+    assert not report.healthy
+    assert "output-resolved" in report.summary()
+
+
+def test_free_choice_violation_detected():
+    # pc's consumers also wait on another place -> not free choice.
+    text = (
+        ".inputs a b\n.outputs y\n.graph\n"
+        "p0 a+\na+ pc\np0 b+\nb+ pq\n"
+        "pc y+\npq y+\npc b-\n"
+        "y+ a-\na- y-\ny- p0 p0x\n"
+        "b- a-\n"
+        ".marking { p0 p0x }\n"
+    )
+    # Construction details aside, the structural check only needs the
+    # net: y+ consumes {pc, pq}, b- consumes {pc}: pc is a conflict place
+    # whose consumer y+ has another input place.
+    stg = parse_stg(text)
+    assert "pc" in check_free_choice(stg)
+
+
+def test_persistency_violation_detected():
+    # Two outputs enabled together, firing one disables the other.
+    text = (
+        ".inputs a\n.outputs y z\n.graph\n"
+        "p0 a+\na+ pc\npc y+\npc z+\n"
+        "y+ a-/1\na-/1 y-\ny- p0\n"
+        "z+ a-/2\na-/2 z-\nz- p0\n"
+        ".marking { p0 }\n"
+    )
+    stg = parse_stg(text)
+    sg = build_state_graph(stg)
+    violations = check_persistency(sg)
+    assert ("y+", "z+") in violations or ("z+", "y+") in violations
+
+
+def test_input_withdrawal_is_not_a_violation():
+    # Input choices (environment withdraws one option) are fine.
+    text = (
+        ".inputs a b\n.outputs y\n.graph\n"
+        "p0 a+\np0 b+\n"
+        "a+ y+/1\ny+/1 a-\na- y-/1\ny-/1 p0\n"
+        "b+ y+/2\ny+/2 b-\nb- y-/2\ny-/2 p0\n"
+        ".marking { p0 }\n"
+    )
+    sg = build_state_graph(parse_stg(text))
+    assert check_persistency(sg) == []
+
+
+def test_dead_signal_detected():
+    # Signal d is declared but never fires: its transitions sit behind a
+    # place that never receives a token.
+    text = (
+        ".inputs a\n.outputs y d\n.graph\n"
+        "a+ y+\ny+ a-\na- y-\ny- a+\n"
+        "y- pd\npd d+\nd+ pd2\npd2 d-\nd- pd3\npd3 d+\n"
+        ".marking { <y-,a+> }\n"
+    )
+    # d+ needs pd marked; pd is fed by y- so d does fire... make it dead:
+    text = (
+        ".inputs a\n.outputs y d\n.graph\n"
+        "a+ y+\ny+ a-\na- y-\ny- a+\n"
+        "pd d+\nd+ pd2\npd2 d-\nd- pd\n"
+        ".marking { <y-,a+> }\n"
+    )
+    stg = parse_stg(text)
+    sg = build_state_graph(parse_stg(text + ".initial a=0 y=0 d=0\n"))
+    assert check_dead_signals(sg) == ["d"]

@@ -1,0 +1,109 @@
+"""The .g (astg) STG format."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.stg.parser import parse_stg, stg_to_text
+
+
+def test_parse_handshake(handshake_stg):
+    stg = handshake_stg
+    assert stg.name == "hs"
+    assert stg.inputs == ("ri",)
+    assert stg.outputs == ("ro", "ai")
+    assert len(stg.transitions) == 6
+    assert stg.n_places == 6
+    assert len(stg.initial_marking) == 1
+
+
+def test_signals_order_inputs_outputs_internal():
+    stg = parse_stg(
+        ".inputs b\n.outputs a\n.internal x\n.graph\n"
+        "b+ a+\na+ x+\nx+ b-\nb- a-\na- x-\nx- b+\n"
+        ".marking { <x-,b+> }\n"
+    )
+    assert stg.signals == ("b", "a", "x")
+    assert stg.non_input_signals == ("a", "x")
+    assert stg.is_input("b") and not stg.is_input("a")
+
+
+def test_instance_suffixes():
+    stg = parse_stg(
+        ".inputs a\n.outputs z\n.graph\n"
+        "p0 a+\na+ z+/1\nz+/1 a-\na- z-/1\nz-/1 p0\n"
+        ".marking { p0 }\n"
+    )
+    labels = {t.label for t in stg.transitions}
+    assert "z+/1" in labels
+    z = next(t for t in stg.transitions if t.label == "z+/1")
+    assert z.signal == "z" and z.direction == 1
+
+
+def test_explicit_places_and_fanout_lines():
+    stg = parse_stg(
+        ".inputs a\n.outputs y z\n.graph\n"
+        "a+ y+ z+\ny+ pj\nz+ pj\npj a-\na- y- z-\ny- pk\nz- pk\npk a+\n"
+        ".marking { pk }\n"
+    )
+    # A place with two producers is legal as long as tokens alternate.
+    pj = stg.place_names.index("pj")
+    producers = [t for t in stg.transitions if pj in stg.t_out_places[t.index]]
+    assert len(producers) == 2
+
+
+@pytest.mark.parametrize(
+    "text,message",
+    [
+        (".graph\na+ b+\n.marking { <a+,b+> }", "undeclared"),
+        (".inputs a\na+ a-\n.marking { x }", "before .graph"),
+        (".inputs a\n.graph\na+\n.marking { x }", "source and targets"),
+        (".inputs a\n.dummy t\n.graph\n.marking { }", "not supported"),
+        (".inputs a\n.graph\np q\n.marking { p }", "two places"),
+        (".inputs a\n.graph\na+ a-\na- a+\n.marking { zz }", "unknown place"),
+        (".inputs a\n.graph\na+ a-\na- a+\n.marking x", "expects {"),
+        (".inputs a\n.graph\na+ a-\na- a+\n.initial a", "bad .initial"),
+        (".inputs a\n.frob\n.graph\n.marking { }", "unknown directive"),
+    ],
+)
+def test_parse_errors(text, message):
+    with pytest.raises(ParseError, match=message):
+        parse_stg(text)
+
+
+def test_missing_marking_rejected():
+    with pytest.raises(ParseError, match="marking"):
+        parse_stg(".inputs a\n.graph\na+ a-\na- a+\n")
+
+
+def test_marking_token_regex_handles_implicit_places():
+    stg = parse_stg(
+        ".inputs a\n.outputs z\n.graph\na+ z+\nz+ a-\na- z-\nz- a+\n"
+        ".marking { <z-,a+> }\n"
+    )
+    name = stg.place_names[next(iter(stg.initial_marking))]
+    assert name == "<z-,a+>"
+
+
+def test_roundtrip(handshake_stg):
+    text = stg_to_text(handshake_stg)
+    stg2 = parse_stg(text)
+    assert stg2.signals == handshake_stg.signals
+    assert len(stg2.transitions) == len(handshake_stg.transitions)
+    assert stg2.n_places == handshake_stg.n_places
+    # The reachable behaviour must be identical.
+    from repro.stg.reachability import build_state_graph
+
+    sg1 = build_state_graph(handshake_stg)
+    sg2 = build_state_graph(stg2)
+    assert sg1.n_states == sg2.n_states
+    assert sg1.codes() == sg2.codes()
+
+
+def test_initial_directive_roundtrip():
+    text = (
+        ".inputs c\n.outputs q\n.graph\nc+ q-\nq- c-\nc- q+\nq+ c+\n"
+        ".marking { <q+,c+> }\n.initial c=0 q=1\n"
+    )
+    stg = parse_stg(text)
+    assert stg.initial_values == {"c": 0, "q": 1}
+    assert parse_stg(stg_to_text(stg)).initial_values == {"c": 0, "q": 1}

@@ -1,0 +1,125 @@
+"""STG -> gate-level synthesis: conformance, styles, reset, CSC gate."""
+
+import pytest
+
+from repro.errors import CscError, SynthesisError
+from repro.sgraph.cssg import build_cssg
+from repro.stg.parser import parse_stg
+from repro.stg.reachability import build_state_graph
+from repro.stg.synthesis import (
+    buffer_name,
+    hold_pairs,
+    next_state_cover,
+    synthesize,
+)
+from repro.stg.twolevel import cover_eval
+
+
+def test_complex_gate_count(handshake_stg):
+    circuit = synthesize(handshake_stg, style="complex")
+    # one buffer per input + one gate per non-input signal
+    assert circuit.n_gates == 1 + 2
+    assert circuit.n_inputs == 1
+    assert circuit.output_names == ("ro", "ai")
+
+
+def test_reset_state_is_stable_and_matches_initial_code(handshake_stg):
+    sg = build_state_graph(handshake_stg)
+    circuit = synthesize(handshake_stg, style="complex", sg=sg)
+    reset = circuit.require_reset()
+    assert circuit.is_stable(reset)
+    code0 = sg.code_of(sg.initial)
+    for i, sig in enumerate(handshake_stg.signals):
+        name = buffer_name(sig) if handshake_stg.is_input(sig) else sig
+        assert circuit.value(reset, name) == (code0 >> i) & 1
+
+
+def test_circuit_replays_stg_behaviour(handshake_stg):
+    """Driving the synthesized circuit along the specified input bursts
+    must visit exactly the STG's stable codes."""
+    sg = build_state_graph(handshake_stg)
+    circuit = synthesize(handshake_stg, style="complex", sg=sg)
+    cssg = build_cssg(circuit)
+    # In-spec drive: toggle ri each cycle (the only input).
+    state = cssg.reset
+    seen_codes = []
+    for pattern in (1, 0, 1, 0):
+        state = cssg.edges[state][pattern]
+        code = 0
+        for i, sig in enumerate(handshake_stg.signals):
+            name = buffer_name(sig) if handshake_stg.is_input(sig) else sig
+            code |= circuit.value(state, name) << i
+        seen_codes.append(code)
+    assert seen_codes == [0b111, 0b000, 0b111, 0b000]
+
+
+def test_next_state_cover_correct(handshake_stg):
+    sg = build_state_graph(handshake_stg)
+    for sig in handshake_stg.non_input_signals:
+        for cover_kind in ("irredundant", "complete", "hazard-aware"):
+            cubes, on, off = next_state_cover(sg, sig, cover_kind)
+            for m in on:
+                assert cover_eval(cubes, m) == 1
+            for m in off:
+                assert cover_eval(cubes, m) == 0
+
+
+def test_hold_pairs_cover_static_one_edges(handshake_stg):
+    sg = build_state_graph(handshake_stg)
+    pairs = hold_pairs(sg, "ro")
+    for a, b in pairs:
+        assert bin(a ^ b).count("1") == 1  # single-signal SG edges
+
+
+def test_two_level_structure(handshake_stg):
+    circuit = synthesize(handshake_stg, style="two-level")
+    product_gates = [g for g in circuit.gates if "$p" in g.name]
+    or_gates = [g for g in circuit.gates if g.name in ("ro", "ai")]
+    assert product_gates and len(or_gates) == 2
+    assert circuit.is_stable(circuit.require_reset())
+
+
+def test_dc_policy_off_gives_exact_function(handshake_stg):
+    sg = build_state_graph(handshake_stg)
+    cubes, on, off = next_state_cover(sg, "ro", "irredundant", dc_policy="off")
+    nv = len(handshake_stg.signals)
+    for m in range(1 << nv):
+        assert cover_eval(cubes, m) == (1 if m in on else 0)
+
+
+def test_bad_arguments_rejected(handshake_stg):
+    sg = build_state_graph(handshake_stg)
+    with pytest.raises(SynthesisError):
+        next_state_cover(sg, "ro", "bogus")
+    with pytest.raises(SynthesisError):
+        next_state_cover(sg, "ro", "irredundant", dc_policy="bogus")
+    with pytest.raises(SynthesisError):
+        synthesize(handshake_stg, style="triangular")
+
+
+def test_csc_violation_blocks_synthesis():
+    text = (
+        ".inputs a\n.outputs z\n.graph\n"
+        "a+ z+\nz+ a-\na- a+/2\na+/2 z-\nz- a-/2\na-/2 a+\n"
+        ".marking { <a-/2,a+> }\n"
+    )
+    with pytest.raises(CscError):
+        synthesize(parse_stg(text))
+
+
+def test_internal_signals_not_marked_output():
+    text = (
+        ".inputs a\n.outputs b\n.internal x\n.graph\n"
+        "a+ b+\nb+ a-\na- x+\nx+ b-\nb- x-\nx- a+\n"
+        ".marking { <x-,a+> }\n"
+    )
+    circuit = synthesize(parse_stg(text))
+    assert circuit.output_names == ("b",)
+    assert "x" in [g.name for g in circuit.gates]
+
+
+def test_both_styles_have_same_interface(handshake_stg):
+    cx = synthesize(handshake_stg, style="complex")
+    tl = synthesize(handshake_stg, style="two-level")
+    assert cx.input_names == tl.input_names
+    assert cx.output_names == tl.output_names

@@ -1,0 +1,104 @@
+"""Ternary simulation: Algorithms A and B, fault injection, detection."""
+
+import pytest
+
+from repro.circuit.faults import Fault
+from repro.errors import SimulationError
+from repro.sim import ternary
+
+
+def test_from_binary_and_back(celem):
+    n = celem.n_signals
+    state = celem.state_of({"A": 1, "B": 0, "a": 1, "b": 0, "c": 0})
+    ts = ternary.from_binary(state, n)
+    assert ternary.is_definite(ts)
+    assert ternary.to_binary(ts) == state
+    assert ternary.phi_signals(ts) == 0
+
+
+def test_to_binary_rejects_phi():
+    with pytest.raises(SimulationError):
+        ternary.to_binary((0b11, 0b11))
+
+
+def test_settle_stable_state_is_identity(celem):
+    reset = celem.require_reset()
+    ts = ternary.settle(celem, ternary.from_binary(reset, celem.n_signals))
+    assert ternary.to_binary(ts) == reset
+
+
+def test_confluent_vector_settles_definite(celem):
+    reset = celem.require_reset()
+    ts = ternary.apply_pattern(celem, ternary.from_binary(reset, celem.n_signals), 0b11)
+    assert ternary.is_definite(ts)
+    settled = ternary.to_binary(ts)
+    assert celem.is_stable(settled)
+    assert celem.value(settled, "c") == 1
+
+
+def test_racy_vector_goes_phi(race):
+    # Figure 1(a): AB = 10 from the A=0,B=1 stable state is non-confluent.
+    reset = race.require_reset()
+    ts = ternary.apply_pattern(race, ternary.from_binary(reset, race.n_signals), 0b01)
+    assert not ternary.is_definite(ts)
+    assert ternary.phi_signals(ts) & (1 << race.index("y"))
+
+
+def test_oscillation_goes_phi(oscillator):
+    reset = oscillator.require_reset()
+    ts = ternary.apply_pattern(
+        oscillator, ternary.from_binary(reset, oscillator.n_signals), 1
+    )
+    phi = ternary.phi_signals(ts)
+    assert phi & (1 << oscillator.index("c"))
+    assert phi & (1 << oscillator.index("d"))
+
+
+def test_input_pin_fault_is_local(celem):
+    """An input stuck-at affects only the faulted gate's view."""
+    # c's pin from a stuck at 1: c behaves as if a were high.
+    c, a = celem.index("c"), celem.index("a")
+    fault = Fault("input", c, a, 1)
+    reset = celem.require_reset()
+    # Raise only B; with the pin fault the C-element sees a=b=1 and fires.
+    ts = ternary.apply_pattern(
+        celem, ternary.settle_from_reset(celem, reset, fault), 0b10, fault
+    )
+    assert ternary.is_definite(ts)
+    settled = ternary.to_binary(ts)
+    assert celem.value(settled, "c") == 1
+    assert celem.value(settled, "a") == 0  # the real wire is untouched
+
+
+def test_output_fault_forces_node(celem):
+    fault = Fault("output", celem.index("c"), celem.index("c"), 1)
+    ts = ternary.settle_from_reset(celem, celem.require_reset(), fault)
+    assert ternary.is_definite(ts)
+    assert ternary.to_binary(ts) & (1 << celem.index("c"))
+
+
+def test_output_fault_presets_site_before_settling(celem):
+    """The stuck node never held the fault-free reset value, so no
+    spurious phi may leak from its 'transition' (regression test for the
+    reset-forcing semantics)."""
+    fault = Fault("output", celem.index("a"), celem.index("a"), 1)
+    ts = ternary.settle_from_reset(celem, celem.require_reset(), fault)
+    assert ternary.is_definite(ts)
+
+
+def test_detects_requires_definite_difference(celem):
+    good = celem.state_of({"A": 0, "B": 0, "a": 0, "b": 0, "c": 0})
+    n = celem.n_signals
+    c = celem.index("c")
+    definitely_one = (0, 1 << c)
+    uncertain = (1 << c, 1 << c)
+    assert ternary.detects(celem, good, definitely_one)
+    assert not ternary.detects(celem, good, uncertain)
+    assert not ternary.detects(celem, good, ternary.from_binary(good, n))
+
+
+def test_inputs_held_by_settle(celem):
+    state = celem.apply_input_pattern(celem.require_reset(), 0b11)
+    ts = ternary.settle(celem, ternary.from_binary(state, celem.n_signals))
+    settled = ternary.to_binary(ts)
+    assert celem.input_pattern(settled) == 0b11

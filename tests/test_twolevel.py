@@ -1,0 +1,137 @@
+"""Quine–McCluskey minimization with don't-cares, vs brute force."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stg.twolevel import (
+    Cube,
+    compute_primes,
+    cover_eval,
+    exact_cover,
+    hazard_aware_cover,
+    irredundant_cover,
+    verify_cover,
+)
+
+
+def test_cube_covers_and_literals():
+    # x0 & ~x2 over 3 vars: dashes on x1.
+    cube = Cube(ones=0b001, dashes=0b010)
+    assert cube.covers(0b001) and cube.covers(0b011)
+    assert not cube.covers(0b101) and not cube.covers(0b000)
+    assert cube.literals(3) == [(0, 1), (2, 0)]
+
+
+def test_primes_of_xor_are_minterms():
+    on = [0b01, 0b10]
+    primes = compute_primes(on, [], 2)
+    assert sorted(primes) == sorted([Cube(0b01, 0), Cube(0b10, 0)])
+
+
+def test_primes_merge_with_dc():
+    # ON = {11}, DC = {10}: prime expands over x1 -> cube x0 (x1 dashed)?
+    # Bits: var0 = LSB.  {0b11, 0b10} merge over var0 -> ones=0b10, dash 0b01.
+    primes = compute_primes([0b11], [0b10], 2)
+    assert Cube(0b10, 0b01) in primes
+
+
+def test_primes_filtered_to_on_relevant():
+    # A prime covering only DC minterms must not be returned.
+    primes = compute_primes([0b00], [0b11], 2)
+    for p in primes:
+        assert p.covers(0b00)
+
+
+def full_function_cases():
+    # (on, dc, nv) triples exercising classic shapes.
+    return [
+        ([3, 5, 6, 7], [], 3),          # majority
+        ([0, 1, 2, 3], [], 3),          # ~x2
+        ([1, 2], [3], 2),               # or with dc
+        ([0, 7], [], 3),                # two isolated minterms
+        ([0, 1, 4, 5, 6], [2], 3),
+    ]
+
+
+@pytest.mark.parametrize("on,dc,nv", full_function_cases())
+def test_irredundant_cover_correct_and_irredundant(on, dc, nv):
+    off = [m for m in range(1 << nv) if m not in on and m not in dc]
+    primes = compute_primes(on, dc, nv)
+    cover = irredundant_cover(primes, on)
+    assert verify_cover(cover, on, off)
+    # Irredundancy: removing any cube must break ON coverage.
+    for cube in cover:
+        rest = [c for c in cover if c != cube]
+        assert not all(cover_eval(rest, m) for m in on)
+
+
+@pytest.mark.parametrize("on,dc,nv", full_function_cases())
+def test_exact_cover_is_minimum(on, dc, nv):
+    primes = compute_primes(on, dc, nv)
+    best = exact_cover(primes, on)
+    assert all(cover_eval(best, m) for m in on)
+    # No smaller subset of primes covers ON.
+    for size in range(len(best)):
+        for subset in itertools.combinations(primes, size):
+            assert not all(cover_eval(list(subset), m) for m in on)
+
+
+@pytest.mark.parametrize("on,dc,nv", full_function_cases())
+def test_irredundant_at_least_exact_size(on, dc, nv):
+    primes = compute_primes(on, dc, nv)
+    assert len(irredundant_cover(primes, on)) >= len(exact_cover(primes, on))
+
+
+def test_hazard_aware_cover_keeps_spanning_cube():
+    # f = majority(a,b,c).  Transition 011 -> 111 stays 1; cube bc spans
+    # it, while {ab, ac} alone would glitch.
+    on = [3, 5, 6, 7]
+    primes = compute_primes(on, [], 3)
+    cover, uncoverable = hazard_aware_cover(primes, on, [(0b110, 0b111)])
+    assert not uncoverable
+    assert any(c.covers(0b110) and c.covers(0b111) for c in cover)
+    assert verify_cover(cover, on, [0, 1, 2, 4])
+
+
+def test_hazard_aware_reports_uncoverable_pairs():
+    # f = xor: 01 and 10 are both ON but no single cube spans them.
+    on = [1, 2]
+    primes = compute_primes(on, [], 2)
+    cover, uncoverable = hazard_aware_cover(primes, on, [(1, 2)])
+    assert uncoverable == [(1, 2)]
+    assert verify_cover(cover, on, [0, 3])
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.integers(2, 4),
+    st.data(),
+)
+def test_random_functions_minimize_correctly(nv, data):
+    universe = list(range(1 << nv))
+    on = data.draw(st.sets(st.sampled_from(universe)))
+    rest = [m for m in universe if m not in on]
+    dc = data.draw(st.sets(st.sampled_from(rest))) if rest else set()
+    off = [m for m in universe if m not in on and m not in dc]
+    primes = compute_primes(on, dc, nv)
+    if not on:
+        assert primes == []
+        return
+    cover = irredundant_cover(primes, on)
+    assert verify_cover(cover, on, off)
+    complete = primes
+    assert verify_cover(complete, on, off)
+    # Every prime must be a genuine implicant of ON+DC and prime
+    # (expanding any literal hits OFF).
+    care = set(on) | set(dc)
+    for p in primes:
+        for m in universe:
+            if p.covers(m):
+                assert m in care
+        for i in range(nv):
+            if not (p.dashes >> i) & 1:
+                grown = Cube(p.ones & ~(1 << i), p.dashes | (1 << i))
+                assert any(grown.covers(m) for m in off)
