@@ -80,8 +80,9 @@ def benchmark_path(name: str) -> Path:
     """Path of the bundled ``.g`` file for ``name``."""
     path = _DATA_DIR / "stg" / f"{name}.g"
     if not path.exists():
+        present = sorted(p.stem for p in (_DATA_DIR / "stg").glob("*.g"))
         raise ReproError(
-            f"unknown benchmark {name!r}; available: {', '.join(TABLE1_NAMES)}"
+            f"unknown benchmark {name!r}; available: {', '.join(present) or '(none)'}"
         )
     return path
 

@@ -1,0 +1,15 @@
+# Outbound allocator: request, allocate, acknowledge, completion.
+.model alloc-outbound
+.inputs req ack
+.outputs alloc done
+.graph
+req+ alloc+
+alloc+ ack+
+ack+ done+
+done+ req-
+req- alloc-
+alloc- ack-
+ack- done-
+done- req+
+.marking { <done-,req+> }
+.end

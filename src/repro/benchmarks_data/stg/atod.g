@@ -1,0 +1,15 @@
+# A-to-D handshake: convert strobe, sample, done strobe, enable.
+.model atod
+.inputs c d
+.outputs s e
+.graph
+c+ s+
+s+ d+
+d+ e+
+e+ c-
+c- s-
+s- d-
+d- e-
+e- c+
+.marking { <e-,c+> }
+.end

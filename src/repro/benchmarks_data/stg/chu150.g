@@ -1,0 +1,14 @@
+# The classic C-element specification: both requests must rise before
+# the output rises, both must fall before it falls.
+.model chu150
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end

@@ -1,0 +1,22 @@
+# Protocol converter: a request forks into three rails joined by an
+# internal wide C-element whose acknowledge gating masks part of its
+# behaviour — the redundancy partial scan is meant to rescue.
+.model converta
+.inputs r
+.outputs p q s ack
+.internal c
+.graph
+r+ p+ q+ s+
+p+ c+
+q+ c+
+s+ c+
+c+ ack+
+ack+ r-
+r- ack- p- q- s-
+p- c-
+q- c-
+s- c-
+c- r+
+ack- r+
+.marking { <c-,r+> <ack-,r+> }
+.end

@@ -1,0 +1,16 @@
+# D flip-flop protocol: data rises, a clock pulse latches q high, data
+# falls, a second clock pulse resets q.
+.model dff
+.inputs d c
+.outputs q
+.graph
+d+ c+/1
+c+/1 q+
+q+ c-/1
+c-/1 d-
+d- c+/2
+c+/2 q-
+q- c-/2
+c-/2 d+
+.marking { <c-/2,d+> }
+.end

@@ -1,0 +1,17 @@
+# Ebergen-style join: one request forks into two internal rails that a
+# Muller C-element merges back; the C-element's self-feedback pins are
+# the textbook untestable input stuck-at sites.
+.model ebergen
+.inputs r
+.outputs p q c
+.graph
+r+ p+ q+
+p+ c+
+q+ c+
+c+ r-
+r- p- q-
+p- c-
+q- c-
+c- r+
+.marking { <c-,r+> }
+.end

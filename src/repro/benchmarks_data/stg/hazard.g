@@ -1,0 +1,14 @@
+# Four-phase handshake fragment distilled from the paper's hazard
+# discussion: one request, two staged responses.
+.model hazard
+.inputs a
+.outputs x y
+.graph
+a+ x+
+x+ y+
+y+ a-
+a- x-
+x- y-
+y- a+
+.marking { <y-,a+> }
+.end

@@ -1,0 +1,21 @@
+# Master read cycle: three bus phases sequenced through one controller.
+.model master-read
+.inputs p q r
+.outputs x y z w
+.graph
+p+ x+
+x+ p-
+p- x-
+x- q+
+q+ y+
+y+ z+
+z+ q-
+q- y-
+y- z-
+z- r+
+r+ w+
+w+ r-
+r- w-
+w- p+
+.marking { <w-,p+> }
+.end

@@ -1,0 +1,21 @@
+# Memory management unit: the environment selects a read or a write
+# request; both converge on the same datapath strobes.
+.model mmu
+.inputs r1 r2
+.outputs x y
+.graph
+p0 r1+ r2+
+r1+ x+/1
+x+/1 y+/1
+y+/1 r1-
+r1- x-/1
+x-/1 y-/1
+y-/1 p0
+r2+ y+/2
+y+/2 x+/2
+x+/2 r2-
+r2- x-/2
+x-/2 y-/2
+y-/2 p0
+.marking { p0 }
+.end

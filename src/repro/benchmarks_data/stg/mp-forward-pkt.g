@@ -1,0 +1,16 @@
+# Message-passing packet forwarder: request, forward, acknowledge gate,
+# packet strobe.
+.model mp-forward-pkt
+.inputs req ack
+.outputs fwd pkt
+.graph
+req+ fwd+
+fwd+ ack+
+ack+ pkt+
+pkt+ req-
+req- fwd-
+fwd- ack-
+ack- pkt-
+pkt- req+
+.marking { <pkt-,req+> }
+.end

@@ -1,0 +1,15 @@
+# Negative-acknowledge page controller.
+.model nak-pa
+.inputs req ack
+.outputs nak pa
+.graph
+req+ nak+
+nak+ ack+
+ack+ pa+
+pa+ req-
+req- nak-
+nak- ack-
+ack- pa-
+pa- req+
+.marking { <pa-,req+> }
+.end

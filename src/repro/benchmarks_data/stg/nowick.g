@@ -1,0 +1,19 @@
+# Nowick-style selector: the environment chooses between a fast path
+# (x alone) and a full path (x then y).
+.model nowick
+.inputs a b
+.outputs x y
+.graph
+p0 a+ b+
+a+ x+/1
+x+/1 a-
+a- x-/1
+x-/1 p0
+b+ x+/2
+x+/2 y+
+y+ b-
+b- x-/2
+x-/2 y-
+y- p0
+.marking { p0 }
+.end

@@ -1,0 +1,17 @@
+# RAM read into send buffer: request, RAM strobe, data latch, grant, ack.
+.model ram-read-sbuf
+.inputs req grant
+.outputs ram data ack
+.graph
+req+ ram+
+ram+ data+
+data+ grant+
+grant+ ack+
+ack+ req-
+req- ram-
+ram- data-
+data- grant-
+grant- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

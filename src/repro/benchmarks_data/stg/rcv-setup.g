@@ -1,0 +1,14 @@
+# Receiver setup controller: a receive strobe raises the setup line,
+# then acknowledges; four-phase return to zero.
+.model rcv-setup
+.inputs rec
+.outputs setup ack
+.graph
+rec+ setup+
+setup+ ack+
+ack+ rec-
+rec- setup-
+setup- ack-
+ack- rec+
+.marking { <ack-,rec+> }
+.end

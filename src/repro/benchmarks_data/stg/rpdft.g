@@ -1,0 +1,13 @@
+# Reduced pulse-distributor: data strobe, staged toggle and output.
+.model rpdft
+.inputs d
+.outputs t q
+.graph
+d+ t+
+t+ q+
+q+ d-
+d- t-
+t- q-
+q- d+
+.marking { <q-,d+> }
+.end

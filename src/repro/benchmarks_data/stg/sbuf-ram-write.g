@@ -1,0 +1,17 @@
+# Send buffer into RAM write: select, write-enable, write, ack.
+.model sbuf-ram-write
+.inputs req we
+.outputs sel wr ack
+.graph
+req+ sel+
+sel+ we+
+we+ wr+
+wr+ ack+
+ack+ req-
+req- sel-
+sel- we-
+we- wr-
+wr- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

@@ -1,0 +1,16 @@
+# Send buffer, control side: the acknowledge input gates the transmit
+# latch, giving the t gate a genuine feedback term.
+.model sbuf-send-ctl
+.inputs req ack
+.outputs s t
+.graph
+req+ s+
+s+ ack+
+ack+ t+
+t+ req-
+req- s-
+s- ack-
+ack- t-
+t- req+
+.marking { <t-,req+> }
+.end

@@ -1,0 +1,15 @@
+# Send buffer, packet side: request, send, completion gate, packet strobe.
+.model sbuf-send-pkt2
+.inputs req done
+.outputs send pkt
+.graph
+req+ send+
+send+ done+
+done+ pkt+
+pkt+ req-
+req- send-
+send- done-
+done- pkt-
+pkt- req+
+.marking { <pkt-,req+> }
+.end

@@ -1,0 +1,18 @@
+# Four-stage sequencer: one go request ripples four staged outputs up,
+# the withdrawal ripples them down.
+.model seq4
+.inputs go
+.outputs s1 s2 s3 s4
+.graph
+go+ s1+
+s1+ s2+
+s2+ s3+
+s3+ s4+
+s4+ go-
+go- s1-
+s1- s2-
+s2- s3-
+s3- s4-
+s4- go+
+.marking { <s4-,go+> }
+.end

@@ -1,0 +1,26 @@
+# TriMOS send: three ports served in rotation, each with its own
+# acknowledge and data strobe.
+.model trimos-send
+.inputs r1 r2 r3
+.outputs a1 d1 a2 d2 a3 d3
+.graph
+r1+ a1+
+a1+ d1+
+d1+ r2+
+r2+ a2+
+a2+ d2+
+d2+ r3+
+r3+ a3+
+a3+ d3+
+d3+ r1-
+r1- a1-
+a1- d1-
+d1- r2-
+r2- a2-
+a2- d2-
+d2- r3-
+r3- a3-
+a3- d3-
+d3- r1+
+.marking { <d3-,r1+> }
+.end

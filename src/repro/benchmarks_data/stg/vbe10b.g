@@ -1,0 +1,28 @@
+# Ten-signal burst element: three requests interleaved with seven
+# staged outputs in one long four-phase cycle.
+.model vbe10b
+.inputs p q r
+.outputs o1 o2 o3 o4 o5 o6 o7
+.graph
+p+ o1+
+o1+ o2+
+o2+ q+
+q+ o3+
+o3+ o4+
+o4+ r+
+r+ o5+
+o5+ o6+
+o6+ o7+
+o7+ p-
+p- o1-
+o1- o2-
+o2- q-
+q- o3-
+o3- o4-
+o4- r-
+r- o5-
+o5- o6-
+o6- o7-
+o7- p+
+.marking { <o7-,p+> }
+.end

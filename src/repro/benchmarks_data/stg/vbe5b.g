@@ -1,0 +1,17 @@
+# Five-signal burst element: one request, four chained stage outputs.
+.model vbe5b
+.inputs b
+.outputs x0 x1 x2 x3
+.graph
+b+ x0+
+x0+ x1+
+x1+ x2+
+x2+ x3+
+x3+ b-
+b- x0-
+x0- x1-
+x1- x2-
+x2- x3-
+x3- b+
+.marking { <x3-,b+> }
+.end

@@ -1,0 +1,25 @@
+# Six-signal burst element: one request forks into three rails merged
+# by an internal wide Muller C-element whose completion output is gated
+# by the request.  Its two-level realization carries the classic
+# untestable redundancy: the C-element's feedback products can never be
+# distinguished while the rails all track the same request, and the
+# gated observer hides their sticky corruptions.
+.model vbe6a
+.inputs r
+.outputs w x u z
+.internal y
+.graph
+r+ w+ x+ u+
+w+ y+
+x+ y+
+u+ y+
+y+ z+
+z+ r-
+r- z- w- x- u-
+w- y-
+x- y-
+u- y-
+y- r+
+z- r+
+.marking { <y-,r+> <z-,r+> }
+.end

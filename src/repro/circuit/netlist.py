@@ -197,6 +197,58 @@ class Circuit:
         self._finalized = True
         return self
 
+    # -- derived structure (cached; consumed by the compiled engine) ----
+
+    def fanouts(self) -> Tuple[Tuple[int, ...], ...]:
+        """For every signal index, the positions (into ``self.gates``) of
+        the gates whose support reads that signal.  Computed once and
+        cached; the event-driven simulation engine seeds its worklist
+        from these lists."""
+        cached = getattr(self, "_fanouts", None)
+        if cached is None:
+            lists: List[List[int]] = [[] for _ in range(self.n_signals)]
+            for pos, gate in enumerate(self.gates):
+                for src in gate.support:
+                    lists[src].append(pos)
+            cached = tuple(tuple(l) for l in lists)
+            self._fanouts = cached
+        return cached
+
+    def levels(self) -> Tuple[int, ...]:
+        """Gate positions in a feedback-tolerant topological order.
+
+        Gates whose support is fully resolved (inputs or already-levelled
+        gates) come first, layer by layer; gates stuck in feedback cycles
+        are appended in declaration order.  The engine uses this as its
+        initial evaluation schedule so feed-forward logic settles in one
+        pass."""
+        cached = getattr(self, "_levels", None)
+        if cached is None:
+            resolved = [False] * self.n_signals
+            for i in range(self.n_inputs):
+                resolved[i] = True
+            order: List[int] = []
+            remaining = list(range(len(self.gates)))
+            while remaining:
+                layer = [
+                    pos
+                    for pos in remaining
+                    if all(
+                        resolved[src] or src == self.gates[pos].index
+                        for src in self.gates[pos].support
+                    )
+                ]
+                if not layer:
+                    break  # pure feedback knot: fall through to append
+                for pos in layer:
+                    order.append(pos)
+                    resolved[self.gates[pos].index] = True
+                remaining = [pos for pos in remaining if not resolved[self.gates[pos].index]]
+            order.extend(remaining)
+            cached = tuple(order)
+            self._levels = cached
+        return cached
+
     # -- shape queries -------------------------------------------------
 
     @property

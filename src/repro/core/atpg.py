@@ -276,6 +276,6 @@ def _fault_simulate(
         if nxt is None:
             break
         good = nxt
-        state = batch.apply(state, pattern)
+        state = batch.apply_settled(state, pattern)
         detected |= batch.observe(state, good)
     return [f for j, f in enumerate(faults) if (detected >> j) & 1]

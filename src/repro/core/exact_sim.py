@@ -21,6 +21,12 @@ machine state is a **set** of possible stable states:
 * if any member oscillates, exceeds the exploration cap, or the set
   grows beyond ``max_set``, the simulation reports ``None`` and the
   caller falls back to ternary semantics (sound, never optimistic).
+
+This module owns no settling machinery of its own: all exploration
+routes through :func:`repro.sgraph.explore.settle_report`, whose
+excited-gate enumeration is the compiled function of
+:mod:`repro.sim.engine` — the same engine every other simulation
+workload shares.
 """
 
 from __future__ import annotations

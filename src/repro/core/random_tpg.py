@@ -14,12 +14,12 @@ simulation may under-report, never over-report).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.faults import Fault
 from repro.core.sequences import Test
 from repro.sgraph.cssg import Cssg
-from repro.sim.batch import FaultBatch
+from repro.sim.batch import ChunkedFaultSim, FaultBatch
 
 
 def random_tpg(
@@ -28,16 +28,24 @@ def random_tpg(
     n_walks: int = 16,
     walk_len: int = 64,
     seed: int = 0,
+    chunk_width: Optional[int] = None,
 ) -> Tuple[Dict[Fault, Tuple[int, ...]], List[Test]]:
     """Run random TPG; returns (detected fault -> sequence, kept tests).
 
     Each walk starts from reset (as a tester would).  A walk is recorded
     as a :class:`Test` — trimmed to its last useful cycle — whenever it
     detects at least one previously undetected fault.
+
+    ``chunk_width`` splits the fault universe into fixed-width packed
+    words (see :class:`repro.sim.batch.ChunkedFaultSim`); detection
+    results are identical either way, so the default stays monolithic.
     """
     circuit = cssg.circuit
     rng = random.Random(seed)
-    batch = FaultBatch(circuit, faults)
+    if chunk_width is not None:
+        batch = ChunkedFaultSim(circuit, faults, chunk_width)
+    else:
+        batch = FaultBatch(circuit, faults)
     undetected = batch.ones
     detected_by: Dict[Fault, Tuple[int, ...]] = {}
     tests: List[Test] = []
@@ -63,7 +71,7 @@ def random_tpg(
             pattern = rng.choice(choices)
             patterns.append(pattern)
             good = cssg.edges[good][pattern]
-            state = batch.apply(state, pattern)
+            state = batch.apply_settled(state, pattern)
             new = batch.observe(state, good) & undetected
             if new:
                 walk_new.append((len(patterns), new))

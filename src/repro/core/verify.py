@@ -71,8 +71,10 @@ def verify_test_set(
     """
     circuit = cssg.circuit
     report = VerificationReport(circuit=circuit, n_faults=len(faults))
+    # One batch (and therefore one cached compiled engine) serves every
+    # test: the batch holds no cross-test state beyond its fault masks.
+    batch = FaultBatch(circuit, faults)
     for index, test in enumerate(tests):
-        batch = FaultBatch(circuit, faults)
         state = batch.reset_and_settle(cssg.reset)
         good = cssg.reset
         caught = batch.observe(state, good)
@@ -83,7 +85,7 @@ def verify_test_set(
                 valid = False
                 break
             good = nxt
-            state = batch.apply(state, pattern)
+            state = batch.apply_settled(state, pattern)
             caught |= batch.observe(state, good)
         if not valid:
             report.invalid_tests.append(index)

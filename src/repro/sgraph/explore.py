@@ -70,7 +70,14 @@ def settle_report(circuit: Circuit, start: int, cap: int = 200_000) -> SettleRep
     ``cap`` bounds the number of distinct states explored; blowing past it
     marks the report ``truncated`` (treated as invalid by the CSSG, which
     is conservative in the same direction as the paper's ternary check).
+
+    Excited-gate enumeration — the hot inner loop — runs through the
+    compiled whole-circuit function of :mod:`repro.sim.engine` rather
+    than per-gate program interpretation.
     """
+    from repro.sim.engine import compiled
+
+    excited_signals = compiled(circuit).excited_signals
     succs: Dict[int, Tuple[int, ...]] = {}
     stable: List[int] = []
     stack = [start]
@@ -82,12 +89,12 @@ def settle_report(circuit: Circuit, start: int, cap: int = 200_000) -> SettleRep
         if len(succs) >= cap:
             truncated = True
             break
-        excited = circuit.excited_gates(state)
+        excited = excited_signals(state)
         if not excited:
             succs[state] = ()
             stable.append(state)
             continue
-        nxt = tuple(state ^ (1 << g.index) for g in excited)
+        nxt = tuple(state ^ (1 << gi) for gi in excited)
         succs[state] = nxt
         for t in nxt:
             if t not in succs:

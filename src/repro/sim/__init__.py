@@ -1,10 +1,19 @@
 """Simulation engines.
 
+* :mod:`repro.sim.engine` — the compiled, event-driven settle core every
+  workload shares: per-circuit code generation, fanout-driven worklist
+  Algorithm A/B, pluggable fault overlays (none / scalar / packed /
+  chunked).
 * :mod:`repro.sim.ternary` — scalar ternary simulation (Eichelberger's
   Algorithms A and B) with optional single-fault injection; this is the
-  conservative race/oscillation detector of paper §5.4.
+  conservative race/oscillation detector of paper §5.4.  Thin adapter
+  over the engine.
 * :mod:`repro.sim.batch` — word-parallel ternary simulation of many
-  faulty machines at once (parallel fault simulation, Seshu-style).
+  faulty machines at once (parallel fault simulation, Seshu-style),
+  with optional chunking of large fault universes.  Thin adapter over
+  the engine.
+* :mod:`repro.sim.legacy` — the seed's sweep-based reference
+  implementations, kept exclusively as the parity/benchmark oracle.
 """
 
 from repro.sim.ternary import (
@@ -14,11 +23,13 @@ from repro.sim.ternary import (
     to_binary,
     settle,
     apply_pattern,
+    apply_pattern_settled,
     settle_from_reset,
     detects,
     phi_signals,
 )
-from repro.sim.batch import FaultBatch
+from repro.sim.batch import ChunkedFaultSim, FaultBatch
+from repro.sim.engine import SimEngine, compiled, engine_for
 
 __all__ = [
     "TernaryState",
@@ -27,8 +38,13 @@ __all__ = [
     "to_binary",
     "settle",
     "apply_pattern",
+    "apply_pattern_settled",
     "settle_from_reset",
     "detects",
     "phi_signals",
     "FaultBatch",
+    "ChunkedFaultSim",
+    "SimEngine",
+    "compiled",
+    "engine_for",
 ]

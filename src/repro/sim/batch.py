@@ -5,7 +5,10 @@ many faulty machines".  Parallel simulation packs one faulty machine per
 bit of a Python int: signal *i* of the batch holds a pair of W-bit words
 ``(L[i], H[i])`` with the same (can-be-0, can-be-1) encoding as
 :mod:`repro.sim.ternary`.  Because Python ints are arbitrary precision,
-one batch simulates the entire fault universe at once.
+one batch can simulate the entire fault universe at once; for very large
+universes :class:`ChunkedFaultSim` splits the machines into fixed-width
+words instead, which keeps each settle operating on machine-word-sized
+ints.
 
 Fault injection is compiled into per-gate masks:
 
@@ -13,20 +16,20 @@ Fault injection is compiled into per-gate masks:
   ``site``, bit *j* of the operand words is forced to ``v``;
 * an *output* fault forces bit *j* of gate ``g``'s evaluation result.
 
-The settle loop is the batched Algorithm A / Algorithm B of the scalar
-simulator; a ``FaultBatch`` of width 1 is bit-for-bit equivalent to the
-scalar engine (a property the test suite checks).
+The settle loop itself lives in :mod:`repro.sim.engine` — this module is
+a thin adapter that owns batch state layout, fault masks, and
+observation.  A ``FaultBatch`` of width 1 is bit-for-bit equivalent to
+the scalar engine (a property the test suite checks against the
+reference implementation in :mod:`repro.sim.legacy`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro._bits import bit, mask
-from repro.circuit.expr import eval_ternary
 from repro.circuit.faults import Fault
 from repro.circuit.netlist import Circuit
-from repro.errors import SimulationError
+from repro.sim.engine import engine_for
 
 BatchState = Tuple[Tuple[int, ...], Tuple[int, ...]]
 
@@ -42,107 +45,31 @@ class FaultBatch:
         detected |= batch.observe(state, good_state)
 
     ``observe`` returns a W-bit mask of machines whose outputs *definitely*
-    differ from the good circuit.
+    differ from the good circuit.  Construction is cheap for a repeated
+    (circuit, faults) pair: the compiled engine behind it is cached.
     """
 
     def __init__(self, circuit: Circuit, faults: Sequence[Fault]):
         self.circuit = circuit
         self.faults = list(faults)
         self.width = len(self.faults)
-        self.ones = mask(self.width) if self.width else 0
-        # pin_force[gate_index][site] = (force0, force1) masks
-        self.pin_force: Dict[int, Dict[int, Tuple[int, int]]] = {}
-        # out_force[gate_index] = (force0, force1) masks
-        self.out_force: Dict[int, Tuple[int, int]] = {}
-        for j, fault in enumerate(self.faults):
-            if fault.kind == "input":
-                per_gate = self.pin_force.setdefault(fault.gate, {})
-                f0, f1 = per_gate.get(fault.site, (0, 0))
-                if fault.value == 0:
-                    f0 |= 1 << j
-                else:
-                    f1 |= 1 << j
-                per_gate[fault.site] = (f0, f1)
-            elif fault.kind == "output":
-                f0, f1 = self.out_force.get(fault.gate, (0, 0))
-                if fault.value == 0:
-                    f0 |= 1 << j
-                else:
-                    f1 |= 1 << j
-                self.out_force[fault.gate] = (f0, f1)
-            else:
-                raise SimulationError(f"unknown fault kind {fault.kind!r}")
+        self.engine = engine_for(circuit, tuple(self.faults), width=self.width)
+        self.ones = self.engine.ones
+        self.pin_force = self.engine.pin_force
+        self.out_force = self.engine.out_force
 
     # -- state helpers ---------------------------------------------------
 
     def broadcast(self, state: int) -> BatchState:
         """Replicate a binary circuit state across all W machines."""
-        n = self.circuit.n_signals
-        ones = self.ones
-        low = tuple(0 if bit(state, i) else ones for i in range(n))
-        high = tuple(ones if bit(state, i) else 0 for i in range(n))
-        return (low, high)
-
-    def _gate_eval(self, gate, low: List[int], high: List[int]) -> Tuple[int, int]:
-        overrides = self.pin_force.get(gate.index)
-        if overrides:
-
-            def getv(sig: int) -> Tuple[int, int]:
-                l, h = low[sig], high[sig]
-                force = overrides.get(sig)
-                if force is not None:
-                    f0, f1 = force
-                    l = (l | f0) & ~f1
-                    h = (h | f1) & ~f0
-                return (l, h)
-
-        else:
-
-            def getv(sig: int) -> Tuple[int, int]:
-                return (low[sig], high[sig])
-
-        el, eh = eval_ternary(gate.program, getv, self.ones)
-        out = self.out_force.get(gate.index)
-        if out is not None:
-            f0, f1 = out
-            el = (el | f0) & ~f1
-            eh = (eh | f1) & ~f0
-        return el, eh
+        L, H = self.engine.broadcast(state)
+        return (tuple(L), tuple(H))
 
     def settle(self, state: BatchState) -> BatchState:
         """Batched Algorithm A then Algorithm B with inputs held."""
         low = list(state[0])
         high = list(state[1])
-        gates = self.circuit.gates
-        guard = 2 * self.circuit.n_signals * max(1, self.width) + 4
-        for _ in range(guard):
-            changed = False
-            for gate in gates:
-                el, eh = self._gate_eval(gate, low, high)
-                gi = gate.index
-                nl = low[gi] | el
-                nh = high[gi] | eh
-                if nl != low[gi] or nh != high[gi]:
-                    low[gi] = nl
-                    high[gi] = nh
-                    changed = True
-            if not changed:
-                break
-        else:
-            raise SimulationError("batched Algorithm A failed to converge")
-        for _ in range(guard):
-            changed = False
-            for gate in gates:
-                el, eh = self._gate_eval(gate, low, high)
-                gi = gate.index
-                if el != low[gi] or eh != high[gi]:
-                    low[gi] = el
-                    high[gi] = eh
-                    changed = True
-            if not changed:
-                break
-        else:
-            raise SimulationError("batched Algorithm B failed to converge")
+        self.engine.settle(low, high)
         return (tuple(low), tuple(high))
 
     def reset_and_settle(self, reset_state: Optional[int] = None) -> BatchState:
@@ -154,14 +81,19 @@ class FaultBatch:
         """
         if reset_state is None:
             reset_state = self.circuit.require_reset()
-        low, high = (list(w) for w in self.broadcast(reset_state))
+        low, high = self.engine.broadcast(reset_state)
         for gate_index, (f0, f1) in self.out_force.items():
             low[gate_index] = (low[gate_index] | f0) & ~f1
             high[gate_index] = (high[gate_index] | f1) & ~f0
-        return self.settle((tuple(low), tuple(high)))
+        self.engine.settle(low, high)
+        return (tuple(low), tuple(high))
 
     def apply(self, state: BatchState, pattern: int) -> BatchState:
-        """One synchronous test cycle: drive inputs, settle every machine."""
+        """One synchronous test cycle: drive inputs, settle every machine.
+
+        Accepts arbitrary states, like the historical implementation:
+        every gate is re-examined.  Walk-style callers holding states
+        this class itself produced should use :meth:`apply_settled`."""
         low = list(state[0])
         high = list(state[1])
         ones = self.ones
@@ -170,7 +102,18 @@ class FaultBatch:
                 low[i], high[i] = 0, ones
             else:
                 low[i], high[i] = ones, 0
-        return self.settle((tuple(low), tuple(high)))
+        self.engine.settle(low, high)
+        return (tuple(low), tuple(high))
+
+    def apply_settled(self, state: BatchState, pattern: int) -> BatchState:
+        """Fast-path test cycle for **settled** states (as produced by
+        :meth:`reset_and_settle` / :meth:`settle` / this method): only
+        the fanout of the inputs that actually changed is re-examined.
+        Feeding an unsettled state here returns garbage."""
+        low = list(state[0])
+        high = list(state[1])
+        self.engine.apply_pattern(low, high, pattern)
+        return (tuple(low), tuple(high))
 
     def observe(self, state: BatchState, good_state: int) -> int:
         """W-bit mask of machines with a definite output difference."""
@@ -192,3 +135,53 @@ class FaultBatch:
             sl |= ((low[i] >> j) & 1) << i
             sh |= ((high[i] >> j) & 1) << i
         return (sl, sh)
+
+
+class ChunkedFaultSim:
+    """A fault universe split into fixed-width :class:`FaultBatch` words.
+
+    Identical observable behaviour to one monolithic batch (machines are
+    independent, so chunking cannot change any per-machine result), but
+    each settle manipulates ``chunk_width``-bit ints instead of one
+    universe-wide bignum.  ``observe`` masks are re-assembled into the
+    monolithic bit numbering, so callers can swap this in for a
+    ``FaultBatch`` without touching their bookkeeping.
+    """
+
+    def __init__(
+        self, circuit: Circuit, faults: Sequence[Fault], chunk_width: int = 64
+    ):
+        if chunk_width < 1:
+            raise ValueError("chunk_width must be positive")
+        self.circuit = circuit
+        self.faults = list(faults)
+        self.width = len(self.faults)
+        self.chunk_width = chunk_width
+        self.batches: List[FaultBatch] = [
+            FaultBatch(circuit, self.faults[off : off + chunk_width])
+            for off in range(0, self.width, chunk_width)
+        ]
+        self.ones = (1 << self.width) - 1 if self.width else 0
+
+    def _offsets(self) -> Iterator[Tuple[int, FaultBatch]]:
+        for n, batch in enumerate(self.batches):
+            yield n * self.chunk_width, batch
+
+    def reset_and_settle(self, reset_state: Optional[int] = None) -> List[BatchState]:
+        return [b.reset_and_settle(reset_state) for b in self.batches]
+
+    def apply(self, states: List[BatchState], pattern: int) -> List[BatchState]:
+        return [b.apply(s, pattern) for b, s in zip(self.batches, states)]
+
+    def apply_settled(self, states: List[BatchState], pattern: int) -> List[BatchState]:
+        return [b.apply_settled(s, pattern) for b, s in zip(self.batches, states)]
+
+    def observe(self, states: List[BatchState], good_state: int) -> int:
+        detected = 0
+        for (off, batch), state in zip(self._offsets(), states):
+            detected |= batch.observe(state, good_state) << off
+        return detected
+
+    def machine_state(self, states: List[BatchState], j: int) -> Tuple[int, int]:
+        batch = self.batches[j // self.chunk_width]
+        return batch.machine_state(states[j // self.chunk_width], j % self.chunk_width)

@@ -1,0 +1,481 @@
+"""The compiled, event-driven simulation engine.
+
+Every workload in this package — scalar ternary settling, word-parallel
+fault simulation, exact settling exploration, CSSG construction, the
+three-phase generator, the test-set auditor — ultimately runs the same
+computation: Eichelberger's Algorithm A/B fixpoint (or, for the exact
+explorer, excited-gate enumeration) over one circuit.  The seed tree
+implemented that loop three separate times, each as a full-circuit sweep
+with per-gate closure dispatch through :func:`repro.circuit.expr.eval_ternary`.
+This module replaces all of them with one compiled core:
+
+**Compilation** (once per circuit).  Each gate's postfix program is
+translated to a small Python function evaluating the ternary ``(l, h)``
+pair straight off per-signal word lists — no AST walk, no stack
+interpreter, no ``getv`` closure per operand.  A companion whole-circuit
+function enumerates excited gates in the binary domain for the exact
+settling explorer.  The circuit additionally provides cached fanout
+lists and a levelized schedule (:meth:`Circuit.fanouts`,
+:meth:`Circuit.levels`) that the engine consumes.
+
+**Event-driven settling.**  Algorithms A and B are run with a worklist:
+only gates whose fan-in changed are re-evaluated, seeded either from the
+dirtied inputs/fault sites (when the caller starts from a settled state)
+or from every gate (arbitrary states).  Both fixpoints are invariant
+under evaluation order (the ternary operators are monotone on a finite
+lattice, so chaotic iteration converges to the same least/greatest
+fixpoint as the seed's sweeps), which makes the event-driven results
+bit-identical to the original implementation — a property
+``tests/test_sim_cross.py`` checks against the preserved reference in
+:mod:`repro.sim.legacy`.
+
+**Fault overlays.**  One engine instance pairs the compiled circuit with
+a fault-injection overlay:
+
+* *none* — plain good-machine simulation;
+* *scalar fault* — one stuck-at fault, as used by per-fault ternary
+  machines; implemented as a width-1 packed overlay, which the seed test
+  suite already established is bit-for-bit the scalar semantics;
+* *packed masks* — W faults simulated in parallel, one machine per bit
+  of a Python int (paper §5.4), with pin/output force masks baked into
+  the affected gates' compiled code;
+* *chunked* — a large fault universe split into fixed-width words (see
+  :class:`repro.sim.batch.ChunkedFaultSim`), trading single-word
+  bignum arithmetic for cache-sized chunks.
+
+Engines are cached per ``(circuit, faults, width)`` so repeated
+construction (per-fault machines, per-test auditing batches) reuses the
+compiled code.  Only gates actually touched by an overlay are recompiled;
+the rest share the circuit's clean functions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro._bits import mask
+from repro.circuit.expr import (
+    OP_AND,
+    OP_CONST,
+    OP_NOT,
+    OP_OR,
+    OP_VAR,
+    OP_XOR,
+    Program,
+)
+from repro.circuit.faults import Fault
+from repro.circuit.netlist import Circuit
+from repro.errors import SimulationError
+
+GateFn = Callable[[List[int], List[int]], Tuple[int, int]]
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+
+
+def _codegen_ternary(
+    name: str,
+    program: Program,
+    ones: int,
+    pin_force: Optional[Dict[int, Tuple[int, int]]] = None,
+    out_force: Optional[Tuple[int, int]] = None,
+) -> str:
+    """Source of one compiled gate evaluator ``name(L, H) -> (l, h)``.
+
+    ``pin_force[site] = (f0, f1)`` bakes per-pin stuck-at masks into the
+    operand reads; ``out_force`` forces the result words.  Temporaries
+    are introduced per operator, so the generated code is linear in the
+    program length (shared subterms are never re-expanded).
+    """
+    lines = [f"def {name}(L, H):"]
+    stack: List[Tuple[str, str]] = []
+    tmp = 0
+    for op, arg in program:
+        if op == OP_VAR:
+            force = pin_force.get(arg) if pin_force else None
+            if force is None:
+                stack.append((f"L[{arg}]", f"H[{arg}]"))
+            else:
+                f0, f1 = force
+                stack.append(
+                    (
+                        f"((L[{arg}]|{f0})&{ones & ~f1})",
+                        f"((H[{arg}]|{f1})&{ones & ~f0})",
+                    )
+                )
+        elif op == OP_NOT:
+            l, h = stack.pop()
+            stack.append((h, l))
+        elif op == OP_AND:
+            l2, h2 = stack.pop()
+            l1, h1 = stack[-1]
+            a, b = f"t{tmp}", f"u{tmp}"
+            tmp += 1
+            lines.append(f"    {a} = {l1}|{l2}; {b} = {h1}&{h2}")
+            stack[-1] = (a, b)
+        elif op == OP_OR:
+            l2, h2 = stack.pop()
+            l1, h1 = stack[-1]
+            a, b = f"t{tmp}", f"u{tmp}"
+            tmp += 1
+            lines.append(f"    {a} = {l1}&{l2}; {b} = {h1}|{h2}")
+            stack[-1] = (a, b)
+        elif op == OP_XOR:
+            l2, h2 = stack.pop()
+            l1, h1 = stack[-1]
+            a, b = f"t{tmp}", f"u{tmp}"
+            tmp += 1
+            lines.append(
+                f"    {a} = ({l1}&{l2})|({h1}&{h2}); "
+                f"{b} = ({l1}&{h2})|({h1}&{l2})"
+            )
+            stack[-1] = (a, b)
+        else:  # OP_CONST
+            stack.append((f"{0 if arg else ones}", f"{ones if arg else 0}"))
+    l, h = stack.pop()
+    if out_force is not None:
+        f0, f1 = out_force
+        lines.append(
+            f"    return ({l}|{f0})&{ones & ~f1}, ({h}|{f1})&{ones & ~f0}"
+        )
+    else:
+        lines.append(f"    return {l}, {h}")
+    return "\n".join(lines)
+
+
+def _codegen_excited(circuit: Circuit) -> str:
+    """Source of ``excited(state) -> [gate signal indices]``.
+
+    One straight-line block per gate, binary domain, no per-gate call
+    overhead — the hot inner loop of the exact settling explorer."""
+    lines = ["def excited(state):", "    ex = []", "    ap = ex.append"]
+    for gate in circuit.gates:
+        stack: List[str] = []
+        tmp = 0
+        body: List[str] = []
+        for op, arg in gate.program:
+            if op == OP_VAR:
+                stack.append(f"((state>>{arg})&1)")
+            elif op == OP_NOT:
+                a = f"b{gate.index}_{tmp}"
+                tmp += 1
+                body.append(f"    {a} = {stack.pop()}^1")
+                stack.append(a)
+            elif op in (OP_AND, OP_OR, OP_XOR):
+                sym = {OP_AND: "&", OP_OR: "|", OP_XOR: "^"}[op]
+                x = stack.pop()
+                y = stack.pop()
+                a = f"b{gate.index}_{tmp}"
+                tmp += 1
+                body.append(f"    {a} = {y}{sym}{x}")
+                stack.append(a)
+            else:  # OP_CONST
+                stack.append(str(arg))
+        body.append(
+            f"    if {stack.pop()} != ((state>>{gate.index})&1): ap({gate.index})"
+        )
+        lines.extend(body)
+    lines.append("    return ex")
+    return "\n".join(lines)
+
+
+def _exec(src: str, filename: str) -> Dict[str, object]:
+    ns: Dict[str, object] = {}
+    exec(compile(src, filename, "exec"), ns)  # noqa: S102 - trusted codegen
+    return ns
+
+
+# ---------------------------------------------------------------------------
+# Per-circuit compilation cache
+# ---------------------------------------------------------------------------
+
+
+class CompiledCircuit:
+    """Everything the engine precomputes once per circuit."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.n_inputs = circuit.n_inputs
+        self.n_signals = circuit.n_signals
+        self.gate_index: Tuple[int, ...] = tuple(g.index for g in circuit.gates)
+        self.fanout: Tuple[Tuple[int, ...], ...] = circuit.fanouts()
+        self.order: Tuple[int, ...] = circuit.levels()
+        #: positions of gates whose program embeds a constant — their
+        #: compiled form bakes the all-ones word and must be regenerated
+        #: for other widths.
+        self.const_positions: Tuple[int, ...] = tuple(
+            pos
+            for pos, g in enumerate(circuit.gates)
+            if any(op == OP_CONST for op, _ in g.program)
+        )
+        src = "\n".join(
+            _codegen_ternary(f"g{pos}", g.program, 1)
+            for pos, g in enumerate(circuit.gates)
+        )
+        ns = _exec(src, f"<engine:{circuit.name}>")
+        #: clean width-1 evaluators, one per gate position.
+        self.clean_fns: Tuple[GateFn, ...] = tuple(
+            ns[f"g{pos}"] for pos in range(len(circuit.gates))
+        )
+        exc_ns = _exec(_codegen_excited(circuit), f"<excited:{circuit.name}>")
+        #: ``excited(state) -> [gate indices]`` in the binary domain.
+        self.excited_signals: Callable[[int], List[int]] = exc_ns["excited"]
+        self._engines: "OrderedDict[Tuple[Tuple[Fault, ...], int], SimEngine]" = (
+            OrderedDict()
+        )
+
+
+def compiled(circuit: Circuit) -> CompiledCircuit:
+    """The (cached) compiled form of ``circuit``."""
+    cc = getattr(circuit, "_compiled", None)
+    if cc is None:
+        cc = CompiledCircuit(circuit)
+        circuit._compiled = cc
+    return cc
+
+
+#: Engine-cache capacity per circuit.  Reuse-heavy callers (per-fault
+#: ternary machines iterating a universe, the auditor rebuilding the
+#: same-universe batch per test) fit comfortably; one-shot overlays with
+#: ever-changing fault subsets (the ATPG loop's shrinking fault-sim
+#: batches) just cycle through and evict, bounding memory.
+_ENGINE_CACHE_SIZE = 128
+
+
+def engine_for(
+    circuit: Circuit,
+    faults: Sequence[Fault] = (),
+    width: Optional[int] = None,
+) -> "SimEngine":
+    """The (cached) engine for ``circuit`` with a fault overlay.
+
+    ``width`` defaults to ``max(1, len(faults))``: a scalar good-machine
+    engine for no faults, one machine per fault otherwise.  Pass
+    ``width=0`` explicitly for a degenerate empty batch.  The per-circuit
+    cache is LRU-bounded to ``_ENGINE_CACHE_SIZE`` overlays.
+    """
+    cc = compiled(circuit)
+    faults = tuple(faults)
+    if width is None:
+        width = max(1, len(faults))
+    key = (faults, width)
+    engine = cc._engines.get(key)
+    if engine is None:
+        engine = SimEngine(circuit, faults, width)
+        cc._engines[key] = engine
+        if len(cc._engines) > _ENGINE_CACHE_SIZE:
+            cc._engines.popitem(last=False)
+    else:
+        cc._engines.move_to_end(key)
+    return engine
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class SimEngine:
+    """One circuit + one fault overlay, at one word width.
+
+    State is a pair of per-signal word lists ``(L, H)``: bit *j* of
+    ``L[i]`` means "signal *i* of machine *j* can be 0", likewise ``H``
+    for "can be 1" — the exact encoding of the seed simulators.  All
+    methods mutate the lists in place.
+    """
+
+    def __init__(self, circuit: Circuit, faults: Sequence[Fault] = (), width: int = 1):
+        self.circuit = circuit
+        self.cc = cc = compiled(circuit)
+        self.faults = tuple(faults)
+        self.width = width
+        self.ones = mask(width)
+        # pin_force[gate signal index][site] / out_force[gate signal index]
+        self.pin_force: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        self.out_force: Dict[int, Tuple[int, int]] = {}
+        for j, fault in enumerate(self.faults):
+            if fault.kind == "input":
+                per_gate = self.pin_force.setdefault(fault.gate, {})
+                f0, f1 = per_gate.get(fault.site, (0, 0))
+                if fault.value == 0:
+                    f0 |= 1 << j
+                else:
+                    f1 |= 1 << j
+                per_gate[fault.site] = (f0, f1)
+            elif fault.kind == "output":
+                f0, f1 = self.out_force.get(fault.gate, (0, 0))
+                if fault.value == 0:
+                    f0 |= 1 << j
+                else:
+                    f1 |= 1 << j
+                self.out_force[fault.gate] = (f0, f1)
+            else:
+                raise SimulationError(f"unknown fault kind {fault.kind!r}")
+        # Compiled evaluators: share the clean width-1 functions wherever
+        # possible, regenerate only overlay-touched and const-bearing gates.
+        fns = list(cc.clean_fns)
+        regen = set(cc.const_positions) if self.ones != 1 else set()
+        pos_of = {gi: pos for pos, gi in enumerate(cc.gate_index)}
+        for gi in set(self.pin_force) | set(self.out_force):
+            regen.add(pos_of[gi])
+        if regen:
+            gates = circuit.gates
+            src = "\n".join(
+                _codegen_ternary(
+                    f"g{pos}",
+                    gates[pos].program,
+                    self.ones,
+                    self.pin_force.get(cc.gate_index[pos]),
+                    self.out_force.get(cc.gate_index[pos]),
+                )
+                for pos in sorted(regen)
+            )
+            ns = _exec(src, f"<engine:{circuit.name}:{len(self.faults)}f>")
+            for pos in regen:
+                fns[pos] = ns[f"g{pos}"]
+        self.fns: Tuple[GateFn, ...] = tuple(fns)
+        # Scratch per-position eval caches, reused across settle calls.
+        n_gates = len(circuit.gates)
+        self._evl = [0] * n_gates
+        self._evh = [0] * n_gates
+
+    # -- the one settle loop --------------------------------------------
+
+    def settle(
+        self,
+        L: List[int],
+        H: List[int],
+        dirty: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Algorithm A then Algorithm B, event-driven, in place.
+
+        ``dirty`` lists the signal indices whose words were rewritten
+        since the state last settled **under this same engine** — then
+        only their transitive fanout is re-examined.  Pass None (the
+        default) for arbitrary states: every gate is seeded.
+        """
+        cc = self.cc
+        fns = self.fns
+        fanout = cc.fanout
+        gate_index = cc.gate_index
+        n_gates = len(gate_index)
+        evl = self._evl
+        evh = self._evh
+        if dirty is None:
+            seeds = cc.order
+            for pos in range(n_gates):
+                gi = gate_index[pos]
+                evl[pos] = L[gi]
+                evh[pos] = H[gi]
+        else:
+            seen = set()
+            seeds = []
+            for s in dirty:
+                for pos in fanout[s]:
+                    if pos not in seen:
+                        seen.add(pos)
+                        seeds.append(pos)
+            seeds.sort()
+            for pos in seeds:
+                gi = gate_index[pos]
+                evl[pos] = L[gi]
+                evh[pos] = H[gi]
+        if not seeds and dirty is not None:
+            return
+        changes_cap = 2 * n_gates * max(1, self.width) + 4
+
+        # Algorithm A: value <- lub(value, eval), to the least fixpoint.
+        pending = deque(seeds)
+        inq = bytearray(n_gates)
+        ever = bytearray(n_gates)
+        touched = list(seeds)
+        for pos in seeds:
+            inq[pos] = 1
+            ever[pos] = 1
+        changes = 0
+        while pending:
+            pos = pending.popleft()
+            inq[pos] = 0
+            el, eh = fns[pos](L, H)
+            evl[pos] = el
+            evh[pos] = eh
+            gi = gate_index[pos]
+            nl = L[gi] | el
+            nh = H[gi] | eh
+            if nl != L[gi] or nh != H[gi]:
+                changes += 1
+                if changes > changes_cap:
+                    raise SimulationError(
+                        "Algorithm A failed to converge (internal bug)"
+                    )
+                L[gi] = nl
+                H[gi] = nh
+                for q in fanout[gi]:
+                    if not inq[q]:
+                        inq[q] = 1
+                        pending.append(q)
+                        if not ever[q]:
+                            ever[q] = 1
+                            touched.append(q)
+
+        # Algorithm B: value <- eval, monotone decreasing to the greatest
+        # fixpoint below the Algorithm A result.  Seeded from the cached
+        # evaluations of every gate phase A visited: a gate whose eval
+        # already equals its value — in particular any gate untouched by
+        # phase A when the caller started from a settled state — cannot
+        # move until a fan-in does.
+        touched.sort()
+        pending = deque(
+            pos
+            for pos in touched
+            if evl[pos] != L[gate_index[pos]] or evh[pos] != H[gate_index[pos]]
+        )
+        for pos in pending:
+            inq[pos] = 1
+        changes = 0
+        while pending:
+            pos = pending.popleft()
+            inq[pos] = 0
+            el, eh = fns[pos](L, H)
+            gi = gate_index[pos]
+            if el != L[gi] or eh != H[gi]:
+                changes += 1
+                if changes > changes_cap:
+                    raise SimulationError(
+                        "Algorithm B failed to converge (internal bug)"
+                    )
+                L[gi] = el
+                H[gi] = eh
+                for q in fanout[gi]:
+                    if not inq[q]:
+                        inq[q] = 1
+                        pending.append(q)
+
+    # -- convenience entry points ---------------------------------------
+
+    def apply_pattern(self, L: List[int], H: List[int], pattern: int) -> None:
+        """One synchronous test cycle on a settled state: drive every
+        input to its definite pattern bit and settle the fanout of the
+        inputs that actually changed."""
+        ones = self.ones
+        dirty = []
+        for i in range(self.cc.n_inputs):
+            if (pattern >> i) & 1:
+                nl, nh = 0, ones
+            else:
+                nl, nh = ones, 0
+            if L[i] != nl or H[i] != nh:
+                L[i] = nl
+                H[i] = nh
+                dirty.append(i)
+        self.settle(L, H, dirty)
+
+    def broadcast(self, state: int) -> Tuple[List[int], List[int]]:
+        """Per-signal word lists replicating a binary state across all
+        machines of this engine's width."""
+        ones = self.ones
+        L = [(0 if (state >> i) & 1 else ones) for i in range(self.cc.n_signals)]
+        H = [(ones if (state >> i) & 1 else 0) for i in range(self.cc.n_signals)]
+        return L, H

@@ -11,8 +11,11 @@ its current value and its evaluation; unstable signals rise to Φ and
 uncertainty propagates until a fixpoint.  **Algorithm B** then repeatedly
 re-evaluates every gate; values can only resolve downward (Φ → 0/1).
 Both fixpoints exist because the ternary gate operators are monotone in
-the information order, and are reached in O(n) sweeps, giving the O(n²)
-bound the paper quotes from [6].
+the information order; because they are *unique* for any fair evaluation
+order, this module is a thin adapter over the compiled event-driven
+engine (:mod:`repro.sim.engine`) — it contains no settle loop of its
+own, and its results are bit-identical to the historical sweep
+implementation preserved in :mod:`repro.sim.legacy`.
 
 If the final state is fully definite it is the *unique* stable successor
 under the unbounded gate-delay model; any remaining Φ conservatively
@@ -20,18 +23,20 @@ signals possible non-confluence or oscillation.
 
 A single stuck-at fault can be injected: an ``input`` fault forces one
 source pin of one gate, an ``output`` fault replaces a gate's function by
-a constant (see :mod:`repro.circuit.faults`).
+a constant (see :mod:`repro.circuit.faults`).  Per-fault engines are
+cached, so per-fault machines (three-phase generation) pay the overlay
+compilation once.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro._bits import mask
-from repro.circuit.expr import eval_ternary
 from repro.circuit.faults import Fault
-from repro.circuit.netlist import Circuit, Gate
+from repro.circuit.netlist import Circuit
 from repro.errors import SimulationError
+from repro.sim.engine import SimEngine, engine_for
 
 TernaryState = Tuple[int, int]
 
@@ -62,26 +67,25 @@ def phi_signals(tstate: TernaryState) -> int:
     return low & high
 
 
-def _gate_eval(
-    circuit: Circuit, gate: Gate, low: int, high: int, fault: Optional[Fault]
-) -> Tuple[int, int]:
-    """Ternary evaluation of one gate with optional fault injection."""
-    if fault is not None and fault.kind == "output" and gate.index == fault.gate:
-        return (0, 1) if fault.value else (1, 0)
-    if fault is not None and fault.kind == "input" and gate.index == fault.gate:
-        site, stuck = fault.site, fault.value
+def _engine(circuit: Circuit, fault: Optional[Fault]) -> SimEngine:
+    return engine_for(circuit, (fault,) if fault is not None else ())
 
-        def getv(sig: int) -> Tuple[int, int]:
-            if sig == site:
-                return (0, 1) if stuck else (1, 0)
-            return ((low >> sig) & 1, (high >> sig) & 1)
 
-    else:
+def _unpack(tstate: TernaryState, n: int) -> Tuple[List[int], List[int]]:
+    low, high = tstate
+    return (
+        [(low >> i) & 1 for i in range(n)],
+        [(high >> i) & 1 for i in range(n)],
+    )
 
-        def getv(sig: int) -> Tuple[int, int]:
-            return ((low >> sig) & 1, (high >> sig) & 1)
 
-    return eval_ternary(gate.program, getv, 1)
+def _pack(L: List[int], H: List[int]) -> TernaryState:
+    low = 0
+    high = 0
+    for i in range(len(L) - 1, -1, -1):
+        low = (low << 1) | L[i]
+        high = (high << 1) | H[i]
+    return (low, high)
 
 
 def settle(
@@ -91,41 +95,12 @@ def settle(
 
     Returns the ternary settling result; definite iff the circuit has a
     unique stable successor reached without races (conservatively).
+    Accepts arbitrary start states (every gate is re-examined).
     """
-    low, high = tstate
-    gates = circuit.gates
-    # Algorithm A: value <- lub(value, eval), until fixpoint.
-    sweep_guard = 2 * circuit.n_signals + 4
-    for _ in range(sweep_guard):
-        changed = False
-        for gate in gates:
-            el, eh = _gate_eval(circuit, gate, low, high, fault)
-            gi = gate.index
-            nl = ((low >> gi) & 1) | el
-            nh = ((high >> gi) & 1) | eh
-            if nl != ((low >> gi) & 1) or nh != ((high >> gi) & 1):
-                low = (low & ~(1 << gi)) | (nl << gi)
-                high = (high & ~(1 << gi)) | (nh << gi)
-                changed = True
-        if not changed:
-            break
-    else:
-        raise SimulationError("Algorithm A failed to converge (internal bug)")
-    # Algorithm B: value <- eval, until fixpoint (monotone decreasing).
-    for _ in range(sweep_guard):
-        changed = False
-        for gate in gates:
-            el, eh = _gate_eval(circuit, gate, low, high, fault)
-            gi = gate.index
-            if el != ((low >> gi) & 1) or eh != ((high >> gi) & 1):
-                low = (low & ~(1 << gi)) | (el << gi)
-                high = (high & ~(1 << gi)) | (eh << gi)
-                changed = True
-        if not changed:
-            break
-    else:
-        raise SimulationError("Algorithm B failed to converge (internal bug)")
-    return (low, high)
+    engine = _engine(circuit, fault)
+    L, H = _unpack(tstate, circuit.n_signals)
+    engine.settle(L, H)
+    return _pack(L, H)
 
 
 def apply_pattern(
@@ -135,12 +110,38 @@ def apply_pattern(
     fault: Optional[Fault] = None,
 ) -> TernaryState:
     """One synchronous test cycle: drive the inputs to ``pattern``
-    (definite values) and let the circuit settle."""
+    (definite values) and let the circuit settle.
+
+    Accepts arbitrary ``tstate`` values, exactly like the historical
+    implementation: every gate is re-examined, so an unsettled start
+    state is fully settled rather than silently preserved.  Callers
+    that can guarantee a settled state (the per-fault machines of the
+    three-phase generator, batched walks) use the engine's dirty-seeded
+    fast path instead."""
     imask = mask(circuit.n_inputs)
     low, high = tstate
     low = (low & ~imask) | (~pattern & imask)
     high = (high & ~imask) | (pattern & imask)
     return settle(circuit, (low, high), fault)
+
+
+def apply_pattern_settled(
+    circuit: Circuit,
+    tstate: TernaryState,
+    pattern: int,
+    fault: Optional[Fault] = None,
+) -> TernaryState:
+    """Fast-path test cycle for **settled** states.
+
+    ``tstate`` must be a fixpoint produced by :func:`settle`,
+    :func:`settle_from_reset`, or this function under the same fault —
+    the engine then only re-examines the fanout of the inputs that
+    actually changed.  Feeding an unsettled state here returns garbage;
+    use :func:`apply_pattern` when in doubt."""
+    engine = _engine(circuit, fault)
+    L, H = _unpack(tstate, circuit.n_signals)
+    engine.apply_pattern(L, H, pattern)
+    return _pack(L, H)
 
 
 def settle_from_reset(
