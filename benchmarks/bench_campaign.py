@@ -1,0 +1,97 @@
+"""Experiment E-campaign — the orchestration layer on the full corpus.
+
+Runs the whole Table-1 campaign three ways and pins the subsystem's
+contract:
+
+* **parity** — the sharded parallel path produces byte-identical result
+  payloads (up to ``cpu_seconds``) to the serial in-process path, for
+  every benchmark, model and seed;
+* **warm cache** — a rerun against a populated store executes zero ATPG
+  jobs;
+* **speedup** — with 4 workers the cold run beats ``workers=0`` by at
+  least 1.5x wall clock.  Asserted only when the machine actually has
+  >= 4 CPUs (CI runners and the 1-CPU sandbox merely report the ratio —
+  a speedup bar on hardware without parallelism measures the scheduler,
+  not the subsystem).
+
+Circuits are pre-synthesized before timing starts so both modes measure
+CSSG + ATPG work; three seeds give the pool enough work per group for
+scheduling overhead to amortize.
+"""
+
+import os
+import time
+
+from repro.benchmarks_data import TABLE1_NAMES, load_benchmark
+from repro.campaign import CampaignSpec, ResultStore, expand, run_campaign
+from repro.core.atpg import AtpgOptions
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec(
+        benchmarks=TABLE1_NAMES,
+        styles=("complex",),
+        fault_models=("output", "input"),
+        seeds=(0, 1, 2),
+        options=AtpgOptions(random_walks=1, walk_len=1),
+    )
+
+
+def _strip_cpu(payload):
+    clean = dict(payload)
+    clean.pop("cpu_seconds")
+    return clean
+
+
+def test_campaign_parallel_parity_cache_and_speedup(tmp_path, capsys):
+    for name in TABLE1_NAMES:  # both paths start from warm synthesis
+        load_benchmark(name, "complex")
+    jobs = expand(_spec())
+    # Untimed warm-up: populates the per-circuit compiled-engine caches,
+    # which forked workers would otherwise inherit from the serial pass
+    # for free (that asymmetry once produced a "2.5x speedup" on 1 CPU).
+    run_campaign(jobs, workers=0, store=None)
+
+    serial_store = ResultStore(tmp_path / "serial")
+    t0 = time.perf_counter()
+    serial = run_campaign(jobs, workers=0, store=serial_store)
+    serial_wall = time.perf_counter() - t0
+    assert serial.all_ok and serial.n_ran == len(jobs)
+
+    parallel_store = ResultStore(tmp_path / "parallel")
+    t0 = time.perf_counter()
+    parallel = run_campaign(jobs, workers=4, store=parallel_store)
+    parallel_wall = time.perf_counter() - t0
+    assert parallel.all_ok and parallel.n_ran == len(jobs)
+
+    # Parity: identical results job-for-job, serial vs sharded.
+    serial_by_key = serial.by_key
+    for outcome in parallel.outcomes:
+        expected = serial_by_key[outcome.job.key]
+        assert _strip_cpu(outcome.payload) == _strip_cpu(expected.payload), (
+            outcome.job.name
+        )
+
+    # Warm cache: a rerun executes zero ATPG jobs.
+    warm = run_campaign(jobs, workers=4, store=parallel_store)
+    assert warm.n_ran == 0 and warm.n_cached == len(jobs)
+
+    ratio = serial_wall / parallel_wall if parallel_wall else float("inf")
+    with capsys.disabled():
+        print(
+            f"\n[campaign] {len(jobs)} jobs serial {serial_wall:.2f}s, "
+            f"4 workers {parallel_wall:.2f}s, speedup {ratio:.2f}x "
+            f"({_cpus()} CPUs), warm rerun {warm.wall_seconds:.2f}s "
+            f"({warm.n_cached} cache hits)"
+        )
+    if _cpus() >= 4:
+        assert ratio >= 1.5, (
+            f"4-worker cold run only {ratio:.2f}x faster than workers=0"
+        )

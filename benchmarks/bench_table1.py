@@ -23,7 +23,7 @@ def test_table1_row(benchmark, name):
     circuit = load_benchmark(name, "complex")
 
     def flow():
-        return run_flow(circuit)
+        return run_flow(name, "complex")
 
     out_res, in_res = benchmark.pedantic(flow, rounds=1, iterations=1)
     record_row("Table-1: speed-independent (complex-gate)",

@@ -14,8 +14,9 @@ from typing import Dict, List
 
 import pytest
 
-from repro.core.atpg import AtpgEngine, AtpgOptions
-from repro.core.report import TableRow, format_table, result_row
+from repro.campaign import CampaignSpec, expand, run_campaign
+from repro.core.atpg import AtpgOptions
+from repro.core.report import TableRow, format_table
 
 OUT_DIR = Path(__file__).resolve().parent / "out"
 
@@ -25,15 +26,23 @@ PAPER_BUDGET = dict(random_walks=1, walk_len=1)
 _tables: Dict[str, List[TableRow]] = {}
 
 
-def run_flow(circuit, seed=11):
-    """Both fault-model runs for one circuit; returns the table row."""
-    out_res = AtpgEngine(
-        circuit, AtpgOptions(fault_model="output", seed=seed, **PAPER_BUDGET)
-    ).run()
-    in_res = AtpgEngine(
-        circuit, AtpgOptions(fault_model="input", seed=seed, **PAPER_BUDGET)
-    ).run(cssg=out_res.cssg)
-    return out_res, in_res
+def run_flow(name, style, seed=11):
+    """Both fault-model runs for one benchmark, through the campaign
+    layer's in-process mode (``workers=0``, no cache) so the timed work
+    is the ATPG itself — the CSSG is shared between the two model jobs
+    exactly as the pre-campaign harness did."""
+    spec = CampaignSpec(
+        benchmarks=[name],
+        styles=(style,),
+        fault_models=("output", "input"),
+        seeds=(seed,),
+        options=AtpgOptions(**PAPER_BUDGET),
+    )
+    report = run_campaign(expand(spec), workers=0, store=None)
+    failed = [o for o in report.outcomes if not o.ok]
+    assert not failed, failed
+    by_model = {o.job.fault_model: o.result() for o in report.outcomes}
+    return by_model["output"], by_model["input"]
 
 
 def record_row(table: str, row: TableRow) -> None:

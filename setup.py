@@ -27,6 +27,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-atpg = repro.cli:main",
+            "repro-campaign = repro.cli:campaign_main",
         ],
     },
 )

@@ -14,6 +14,8 @@ Public API quick map:
 * STGs — :func:`parse_stg`, :func:`load_stg`, :func:`build_state_graph`,
   :func:`synthesize`
 * ATPG — :class:`AtpgEngine`, :class:`AtpgOptions`
+* campaigns — :class:`CampaignSpec`, :func:`expand`, :func:`run_campaign`,
+  :class:`ResultStore` (sharded corpus runs with a content-addressed cache)
 * benchmarks — :func:`load_benchmark`, :func:`benchmark_names`,
   :data:`TABLE1_NAMES`, :data:`TABLE2_NAMES`
 """
@@ -38,6 +40,16 @@ from repro.core import (
     TestSet,
     format_table,
     result_row,
+)
+from repro.campaign import (
+    CampaignReport,
+    CampaignSpec,
+    Job,
+    JobOutcome,
+    ResultStore,
+    expand,
+    run_campaign,
+    write_artifacts,
 )
 from repro.sgraph import Cssg, SettleReport, build_cssg, settle_report
 from repro.sgraph.symbolic import SymbolicTcsg
@@ -81,6 +93,14 @@ __all__ = [
     "TestSet",
     "format_table",
     "result_row",
+    "CampaignReport",
+    "CampaignSpec",
+    "Job",
+    "JobOutcome",
+    "ResultStore",
+    "expand",
+    "run_campaign",
+    "write_artifacts",
     "Cssg",
     "SettleReport",
     "build_cssg",

@@ -1,0 +1,66 @@
+"""Campaign orchestration: corpus-scale ATPG runs, cached and sharded.
+
+The paper's Tables 1 and 2 are *campaigns* — dozens of (circuit, fault
+model, options) ATPG runs whose numbers are aggregated into one report.
+This package runs such campaigns as first-class objects:
+
+* :mod:`repro.campaign.plan` — expand a :class:`CampaignSpec`
+  (benchmarks x fault model x synthesis style x seed x k) into
+  independent :class:`Job` s, each with a stable content hash over the
+  source netlist bytes, the options, and the code version;
+* :mod:`repro.campaign.store` — a content-addressed on-disk cache of
+  serialized :class:`~repro.core.atpg.AtpgResult` JSON, so a job whose
+  inputs haven't changed is never recomputed and interrupted campaigns
+  resume where they stopped;
+* :mod:`repro.campaign.runner` — shard jobs across a ``multiprocessing``
+  worker pool (per-job timeouts, crash isolation, live progress), or run
+  them in-process with ``workers=0`` for honest single-stream timings;
+* :mod:`repro.campaign.artifacts` — aggregate job results into the
+  paper's table layout plus machine-readable JSON/CSV artifacts.
+
+The ``repro-campaign`` CLI (:func:`repro.cli.campaign_main`) and the
+table benchmarks are thin wrappers over these four layers.
+"""
+
+from repro.campaign.artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    campaign_manifest,
+    rows_from_outcomes,
+    write_artifacts,
+)
+from repro.campaign.plan import (
+    CODE_VERSION,
+    CampaignSpec,
+    Job,
+    expand,
+    job_key,
+    source_fingerprint,
+)
+from repro.campaign.runner import (
+    CampaignReport,
+    JobOutcome,
+    execute_job,
+    load_job_circuit,
+    run_campaign,
+)
+from repro.campaign.store import ResultStore, default_cache_dir
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "CODE_VERSION",
+    "CampaignReport",
+    "CampaignSpec",
+    "Job",
+    "JobOutcome",
+    "ResultStore",
+    "campaign_manifest",
+    "default_cache_dir",
+    "execute_job",
+    "expand",
+    "job_key",
+    "load_job_circuit",
+    "rows_from_outcomes",
+    "run_campaign",
+    "source_fingerprint",
+    "write_artifacts",
+]

@@ -1,0 +1,154 @@
+"""Campaign artifacts: paper-shaped tables and machine-readable files.
+
+``rows_from_outcomes`` pairs each circuit variant's output- and
+input-model results into the :class:`~repro.core.report.TableRow` shape
+of the paper's Tables 1/2 — straight from the cached JSON payloads, no
+:class:`AtpgResult` reconstruction needed.  ``write_artifacts`` renders
+one campaign as:
+
+* ``table.txt`` — the human table (:func:`repro.core.report.format_table`);
+* ``campaign.csv`` — the same rows via :func:`repro.core.report.to_csv`;
+* ``campaign.json`` — the manifest: spec, per-job records (key, status,
+  seconds, headline numbers), aggregated rows and totals, versioned by
+  :data:`ARTIFACT_SCHEMA_VERSION`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.plan import CODE_VERSION, CampaignSpec
+from repro.campaign.runner import CampaignReport, JobOutcome
+from repro.core.report import TableRow, format_table, to_csv, to_json
+
+#: Version of the ``campaign.json`` manifest layout.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def _row_name(outcome: JobOutcome) -> str:
+    """The table-row label: the job display name minus the fault-model
+    segment (both models fold into one row)."""
+    job = outcome.job
+    return job.name.replace(f"/{job.fault_model}", "", 1)
+
+
+def row_from_payloads(
+    name: str, out_payload: Optional[Dict], in_payload: Optional[Dict]
+) -> TableRow:
+    """One table row from the serialized results of the two model runs
+    (either may be absent when the campaign ran a single model).  The
+    stored ``n_total`` / ``n_covered`` fields are authoritative — the
+    coverage arithmetic lives in :class:`AtpgResult`, not here."""
+    return TableRow(
+        name=name,
+        out_tot=out_payload["n_total"] if out_payload else 0,
+        out_cov=out_payload["n_covered"] if out_payload else 0,
+        in_tot=in_payload["n_total"] if in_payload else 0,
+        in_cov=in_payload["n_covered"] if in_payload else 0,
+        rnd=in_payload["n_random"] if in_payload else 0,
+        three_ph=in_payload["n_three_phase"] if in_payload else 0,
+        sim=in_payload["n_fault_sim"] if in_payload else 0,
+        cpu=(out_payload["cpu_seconds"] if out_payload else 0.0)
+        + (in_payload["cpu_seconds"] if in_payload else 0.0),
+    )
+
+
+def rows_from_outcomes(outcomes: Sequence[JobOutcome]) -> List[TableRow]:
+    """Aggregate job outcomes into table rows, one per circuit variant
+    (source x style x seed x k), in first-seen order.  Jobs that failed
+    contribute nothing; a variant with no successful job is dropped."""
+    variants: Dict[Tuple, Dict[str, Dict]] = {}
+    names: Dict[Tuple, str] = {}
+    order: List[Tuple] = []
+    for outcome in outcomes:
+        if not outcome.ok or outcome.payload is None:
+            continue
+        job = outcome.job
+        variant = (job.source, job.style, job.seed, job.k)
+        if variant not in variants:
+            variants[variant] = {}
+            names[variant] = _row_name(outcome)
+            order.append(variant)
+        variants[variant][job.fault_model] = outcome.payload
+    return [
+        row_from_payloads(
+            names[v], variants[v].get("output"), variants[v].get("input")
+        )
+        for v in order
+    ]
+
+
+def campaign_manifest(
+    spec: Optional[CampaignSpec], report: CampaignReport, title: str = "Campaign"
+) -> Dict:
+    """The machine-readable summary of one campaign run."""
+    rows = rows_from_outcomes(report.outcomes)
+    jobs = []
+    for outcome in report.outcomes:
+        record = {
+            "name": outcome.job.name,
+            "key": outcome.job.key,
+            "source": outcome.job.source,
+            "style": outcome.job.style,
+            "fault_model": outcome.job.fault_model,
+            "seed": outcome.job.seed,
+            "k": outcome.job.k,
+            "status": outcome.status,
+            "seconds": outcome.seconds,
+            "error": outcome.error,
+        }
+        if outcome.payload is not None:
+            record.update(
+                n_total=outcome.payload["n_total"],
+                n_covered=outcome.payload["n_covered"],
+                n_undetectable=outcome.payload["n_undetectable"],
+                n_aborted=outcome.payload["n_aborted"],
+                n_tests=len(outcome.payload["tests"]),
+            )
+        jobs.append(record)
+    return {
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "code_version": CODE_VERSION,
+        "title": title,
+        "spec": spec.to_json_dict() if spec is not None else None,
+        "summary": {
+            "n_jobs": len(report.jobs),
+            "n_ran": report.n_ran,
+            "n_cached": report.n_cached,
+            "n_failed": report.n_failed,
+            "wall_seconds": report.wall_seconds,
+            "workers": report.workers,
+        },
+        "jobs": jobs,
+        "rows": [row.to_dict() for row in rows],
+    }
+
+
+def write_artifacts(
+    out_dir: Union[str, Path],
+    report: CampaignReport,
+    spec: Optional[CampaignSpec] = None,
+    title: str = "Campaign",
+) -> Dict[str, Path]:
+    """Write ``table.txt``, ``campaign.csv`` and ``campaign.json`` under
+    ``out_dir``; returns the paths keyed by artifact name."""
+    import json
+
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    rows = rows_from_outcomes(report.outcomes)
+    paths = {
+        "table": out_dir / "table.txt",
+        "csv": out_dir / "campaign.csv",
+        "json": out_dir / "campaign.json",
+    }
+    paths["table"].write_text(format_table(rows, title=title) + "\n")
+    paths["csv"].write_text(to_csv(rows))
+    manifest = campaign_manifest(spec, report, title=title)
+    paths["json"].write_text(json.dumps(manifest, indent=2) + "\n")
+    # to_json and the manifest rows share TableRow.to_dict, so the CSV,
+    # the manifest and this sidecar can never drift apart.
+    (out_dir / "rows.json").write_text(to_json(rows) + "\n")
+    paths["rows"] = out_dir / "rows.json"
+    return paths

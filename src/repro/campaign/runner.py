@@ -1,0 +1,469 @@
+"""Campaign execution: cache-aware, sharded across worker processes.
+
+``run_campaign(jobs, workers=N, store=...)`` resolves every job:
+
+1. jobs whose key is already in the store are **cached** — no work;
+2. the rest are grouped by source circuit (``job.group``) and the
+   groups, biggest first, are fed to ``N`` persistent worker processes
+   through a task queue, so all variants of one circuit land on one
+   worker and share its synthesis / CSSG memo;
+3. each finished job's result JSON flows back to the parent, which
+   writes it to the store *as it arrives* — a campaign killed halfway
+   resumes from exactly the jobs it had not finished;
+4. a worker that dies (crash) or exceeds the per-job timeout is killed
+   and replaced; the job in flight is marked ``crashed``/``timeout``,
+   the unstarted remainder of its group is re-queued, and the campaign
+   carries on.
+
+``workers=0`` runs everything in-process (no subprocess, no pickling),
+which is what the table benchmarks use so their timings measure ATPG,
+not orchestration.  Results are identical either way: every job is an
+independent, seeded, deterministic computation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.campaign.plan import Job
+from repro.campaign.store import ResultStore
+from repro.circuit.netlist import Circuit
+from repro.core.atpg import (
+    RESULT_SCHEMA_VERSION,
+    AtpgEngine,
+    AtpgResult,
+    cssg_for,
+)
+from repro.errors import ReproError
+
+#: Default per-job wall-clock budget in worker mode.
+DEFAULT_JOB_TIMEOUT = 600.0
+
+#: Test-only hook: set to ``"<source>:<marker path>"`` to make the first
+#: worker that picks up a job for ``source`` hard-exit (simulating a
+#: native crash) and leave the marker so reruns proceed normally.
+CRASH_ONCE_ENV = "REPRO_CAMPAIGN_CRASH_ONCE"
+
+#: Outcome statuses that mean "the result payload is valid".
+_OK_STATUSES = ("cached", "ran")
+
+
+@dataclass
+class JobOutcome:
+    """How one job was resolved."""
+
+    job: Job
+    status: str  #: "cached" | "ran" | "failed" | "crashed" | "timeout"
+    payload: Optional[Dict] = None  #: the result JSON when ok
+    error: str = ""
+    seconds: float = 0.0
+    live: Optional[AtpgResult] = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status in _OK_STATUSES
+
+    @property
+    def executed(self) -> bool:
+        """True when ATPG actually ran for this job (not a cache hit)."""
+        return self.status == "ran"
+
+    def result(self, circuit: Optional[Circuit] = None) -> AtpgResult:
+        """The job's :class:`AtpgResult` — the live object when the job
+        ran in-process, otherwise deserialized from the payload."""
+        if self.live is not None:
+            return self.live
+        if self.payload is None:
+            raise ReproError(f"job {self.job.name} has no result ({self.status})")
+        if circuit is None:
+            circuit = load_job_circuit(self.job)
+        return AtpgResult.from_json_dict(self.payload, circuit)
+
+
+@dataclass
+class CampaignReport:
+    """Everything one ``run_campaign`` call did."""
+
+    jobs: List[Job]
+    outcomes: List[JobOutcome]  #: in ``jobs`` order
+    wall_seconds: float
+    workers: int
+
+    @property
+    def by_key(self) -> Dict[str, JobOutcome]:
+        return {o.job.key: o for o in self.outcomes}
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "cached")
+
+    @property
+    def n_ran(self) -> int:
+        return sum(1 for o in self.outcomes if o.executed)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    @property
+    def all_ok(self) -> bool:
+        return self.n_failed == 0
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.jobs)} jobs: {self.n_ran} ran, {self.n_cached} cached, "
+            f"{self.n_failed} failed in {self.wall_seconds:.2f}s "
+            f"({self.workers} workers)"
+        )
+
+
+def load_job_circuit(job: Job) -> Circuit:
+    """Build the circuit a job runs on (synthesized or parsed)."""
+    if job.source_kind == "benchmark":
+        from repro.benchmarks_data import load_benchmark
+
+        return load_benchmark(job.source, style=job.style)
+    from repro.circuit.parser import load_netlist
+
+    return load_netlist(job.source)
+
+
+def execute_job(job: Job, cssg_memo: Optional[Dict] = None) -> AtpgResult:
+    """Run one job, optionally sharing CSSG construction through
+    ``cssg_memo`` (all fault-model / seed variants of one circuit use
+    the same graph, exactly like the sequential table harness did)."""
+    circuit = load_job_circuit(job)
+    opts = job.options
+    cssg = None
+    if cssg_memo is not None:
+        memo_key = (
+            job.group,
+            opts.k,
+            opts.max_input_changes,
+            opts.cssg_method,
+            opts.auto_exact_limit,
+        )
+        cssg = cssg_memo.get(memo_key)
+        if cssg is None:
+            cssg = cssg_for(circuit, opts)
+            cssg_memo[memo_key] = cssg
+    return AtpgEngine(circuit, opts).run(cssg=cssg)
+
+
+def _fresh_payload(store: Optional[ResultStore], job: Job) -> Optional[Dict]:
+    """The cached payload for ``job``, if present and schema-compatible."""
+    if store is None:
+        return None
+    payload = store.get(job.key)
+    if payload is None or payload.get("schema_version") != RESULT_SCHEMA_VERSION:
+        return None
+    return payload
+
+
+def _maybe_crash_for_test(job: Job) -> None:
+    spec = os.environ.get(CRASH_ONCE_ENV)
+    if not spec or ":" not in spec:
+        return
+    source, marker = spec.split(":", 1)
+    if job.source == source and not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write(job.key)
+        os._exit(3)  # simulate a native crash: no exception, no cleanup
+
+
+def _worker_main(wid: int, task_q, event_q) -> None:
+    """Worker loop: run dispatched job batches until the ``None``
+    sentinel.  A batch is one source circuit's group (or the remainder
+    of one), processed strictly in order — the parent relies on that
+    order to attribute a crash or timeout to the first job it has no
+    completion event for.  One CSSG memo spans the batch, so all
+    fault-model / seed variants share a single construction."""
+    while True:
+        item = task_q.get()
+        if item is None:
+            break
+        batch_id, jobs = item
+        cssg_memo: Dict = {}
+        for job in jobs:
+            _maybe_crash_for_test(job)
+            t0 = time.perf_counter()
+            try:
+                result = execute_job(job, cssg_memo)
+                event_q.put(
+                    ("done", wid, job.key, time.perf_counter() - t0,
+                     result.to_json_dict())
+                )
+            except Exception as exc:  # report and keep the worker alive
+                event_q.put(
+                    ("fail", wid, job.key, time.perf_counter() - t0,
+                     f"{type(exc).__name__}: {exc}")
+                )
+        event_q.put(("batch-done", wid, batch_id, 0.0))
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork
+        return multiprocessing.get_context()
+
+
+class _Pool:
+    """Parent-side dispatcher: one job *batch* in flight per worker.
+
+    Each worker has a private task queue and receives whole groups (all
+    variants of one source circuit) in one message — jobs are only
+    milliseconds each, so per-job round trips would drown the pool in
+    dispatch latency.  The parent records every batch it hands out and
+    workers process batches strictly in order, so when a worker dies or
+    goes silent past the per-job timeout, the first batch job without a
+    completion event *is* the culprit: it gets the ``crashed`` /
+    ``timeout`` outcome, the rest of the batch is re-queued first in
+    line, and a replacement worker is spawned.  Nothing about failure
+    handling depends on event delivery from a crashing process."""
+
+    def __init__(self, pending: List[Job], workers: int, timeout: float):
+        self.ctx = _mp_context()
+        self.event_q = self.ctx.Queue()
+        self.timeout = timeout
+        self.job_of = {j.key: j for j in pending}
+        self.target_workers = workers
+        self.next_wid = 0
+        self.next_batch_id = 0
+        self.procs: Dict[int, object] = {}
+        self.task_qs: Dict[int, object] = {}
+        #: jobs of the worker's current batch with no completion event
+        #: yet, in the order the worker runs them.
+        self.worker_remaining: Dict[int, List[Job]] = {}
+        self.worker_last_event: Dict[int, float] = {}
+
+        groups: Dict[str, List[Job]] = {}
+        for job in pending:
+            groups.setdefault(job.group, []).append(job)
+        # Biggest sources first: the long pole starts immediately.
+        self.group_queue: List[List[Job]] = sorted(
+            groups.values(),
+            key=lambda js: (-sum(j.cost_hint for j in js), js[0].key),
+        )
+
+    def spawn(self) -> None:
+        wid = self.next_wid
+        self.next_wid += 1
+        task_q = self.ctx.Queue()
+        proc = self.ctx.Process(
+            target=_worker_main, args=(wid, task_q, self.event_q), daemon=True
+        )
+        proc.start()
+        self.procs[wid] = proc
+        self.task_qs[wid] = task_q
+        self.worker_remaining[wid] = []
+
+    def dispatch(self, wid: int) -> None:
+        """Hand the worker the next queued group, if it is idle."""
+        if self.worker_remaining[wid] or not self.group_queue:
+            return
+        batch = self.group_queue.pop(0)
+        batch_id = self.next_batch_id
+        self.next_batch_id += 1
+        self.worker_remaining[wid] = list(batch)
+        self.worker_last_event[wid] = time.monotonic()
+        self.task_qs[wid].put((batch_id, batch))
+
+    def dispatch_all(self) -> None:
+        for wid in list(self.procs):
+            self.dispatch(wid)
+
+    def note_event(self, wid: int, key: Optional[str]) -> None:
+        """Record a completion event: the job is no longer in flight."""
+        self.worker_last_event[wid] = time.monotonic()
+        if key is not None:
+            self.worker_remaining[wid] = [
+                j for j in self.worker_remaining[wid] if j.key != key
+            ]
+
+    def drop_worker(self, wid: int, kill: bool) -> List[Job]:
+        """Remove a worker; returns its unfinished batch jobs in order
+        (the first is the one that was in flight)."""
+        proc = self.procs.pop(wid)
+        if kill and proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5)
+        self.task_qs.pop(wid)
+        self.worker_last_event.pop(wid, None)
+        return self.worker_remaining.pop(wid)
+
+    def requeue_first(self, jobs: List[Job]) -> None:
+        if jobs:
+            self.group_queue.insert(0, jobs)
+
+    def shutdown(self) -> None:
+        for wid, proc in list(self.procs.items()):
+            if proc.is_alive():
+                self.task_qs[wid].put(None)
+        deadline = time.monotonic() + 10
+        for proc in self.procs.values():
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for q in [self.event_q] + list(self.task_qs.values()):
+            q.cancel_join_thread()
+            q.close()
+
+
+def run_campaign(
+    jobs: Sequence[Job],
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    timeout: float = DEFAULT_JOB_TIMEOUT,
+    progress: Optional[Callable[[JobOutcome, int, int], None]] = None,
+    refresh: bool = False,
+) -> CampaignReport:
+    """Resolve every job: from the cache when possible, else by running
+    it.  ``workers=0`` executes in-process; ``workers=None`` uses the
+    machine's CPU count.  ``store=None`` disables caching entirely;
+    ``refresh=True`` bypasses cache reads but still stores fresh
+    results (existing entries are only ever overwritten, never deleted,
+    so an interrupted refresh loses nothing)."""
+    jobs = list(jobs)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    start = time.perf_counter()
+    outcomes: Dict[str, JobOutcome] = {}
+    n_total = len(jobs)
+
+    def resolve(outcome: JobOutcome) -> None:
+        outcomes[outcome.job.key] = outcome
+        if outcome.executed and store is not None and outcome.payload is not None:
+            store.put(outcome.job.key, outcome.payload)
+        if progress is not None:
+            progress(outcome, len(outcomes), n_total)
+
+    pending: List[Job] = []
+    for job in jobs:
+        payload = None if refresh else _fresh_payload(store, job)
+        if payload is not None:
+            resolve(JobOutcome(job, "cached", payload=payload))
+        else:
+            pending.append(job)
+
+    if workers == 0:
+        cssg_memo: Dict = {}
+        last_group: Optional[str] = None
+        for job in pending:
+            if job.group != last_group:  # bound memory to one circuit
+                cssg_memo = {}
+                last_group = job.group
+            t0 = time.perf_counter()
+            try:
+                result = execute_job(job, cssg_memo)
+                resolve(
+                    JobOutcome(
+                        job,
+                        "ran",
+                        payload=result.to_json_dict(),
+                        seconds=time.perf_counter() - t0,
+                        live=result,
+                    )
+                )
+            except Exception as exc:
+                resolve(
+                    JobOutcome(
+                        job,
+                        "failed",
+                        error=f"{type(exc).__name__}: {exc}",
+                        seconds=time.perf_counter() - t0,
+                    )
+                )
+    elif pending:
+        _run_pool(pending, min(workers, len(pending)), timeout, resolve)
+
+    return CampaignReport(
+        jobs=jobs,
+        outcomes=[outcomes[j.key] for j in jobs],
+        wall_seconds=time.perf_counter() - start,
+        workers=workers,
+    )
+
+
+def _run_pool(
+    pending: List[Job],
+    workers: int,
+    timeout: float,
+    resolve: Callable[[JobOutcome], None],
+) -> None:
+    pool = _Pool(pending, workers, timeout)
+    unresolved = {j.key for j in pending}
+    try:
+        for _ in range(workers):
+            pool.spawn()
+        pool.dispatch_all()
+        last_police = time.monotonic()
+        while unresolved:
+            try:
+                event = pool.event_q.get(timeout=0.2)
+            except queue_mod.Empty:
+                event = None
+            # Police on a wall-clock cadence, not only on queue-empty:
+            # with many fast jobs the event stream never pauses, which
+            # would let a dead or hung worker go unnoticed for the whole
+            # campaign.
+            if time.monotonic() - last_police >= 0.2:
+                _police_workers(pool, unresolved, resolve)
+                pool.dispatch_all()
+                last_police = time.monotonic()
+            if event is None:
+                continue
+            kind, wid, key, seconds = event[0], event[1], event[2], event[3]
+            if kind == "batch-done":
+                if wid in pool.procs:
+                    pool.note_event(wid, None)
+                    pool.dispatch(wid)
+                continue
+            if wid in pool.procs:
+                pool.note_event(wid, key)
+            if key in unresolved:
+                unresolved.discard(key)
+                job = pool.job_of[key]
+                if kind == "done":
+                    resolve(JobOutcome(job, "ran", payload=event[4], seconds=seconds))
+                else:
+                    resolve(JobOutcome(job, "failed", error=event[4], seconds=seconds))
+    finally:
+        pool.shutdown()
+
+
+def _police_workers(pool: _Pool, unresolved, resolve) -> None:
+    """Detect dead and over-deadline workers; replace them."""
+    for wid in list(pool.procs):
+        proc = pool.procs[wid]
+        busy = bool(pool.worker_remaining.get(wid))
+        timed_out = (
+            busy
+            and time.monotonic() - pool.worker_last_event.get(wid, 0.0)
+            > pool.timeout
+        )
+        if proc.is_alive() and not timed_out:
+            continue
+        status = "timeout" if (proc.is_alive() and timed_out) else "crashed"
+        leftovers = pool.drop_worker(wid, kill=True)
+        if leftovers:
+            # In-order processing: the first job without a completion
+            # event is the one that was running when the worker died.
+            culprit, rest = leftovers[0], leftovers[1:]
+            if culprit.key in unresolved:
+                unresolved.discard(culprit.key)
+                message = (
+                    f"exceeded per-job timeout ({pool.timeout:.0f}s)"
+                    if status == "timeout"
+                    else "worker process died"
+                )
+                resolve(JobOutcome(culprit, status, error=message))
+            pool.requeue_first(rest)
+        if unresolved and len(pool.procs) < pool.target_workers:
+            pool.spawn()

@@ -1,0 +1,103 @@
+"""Content-addressed on-disk result cache.
+
+Each entry is one job's serialized :class:`~repro.core.atpg.AtpgResult`
+JSON, filed under its content hash::
+
+    <root>/results/<key[:2]>/<key>.json
+
+The key already encodes the netlist bytes, options, code version, and
+result schema version (see :mod:`repro.campaign.plan`), so invalidation
+is automatic: any change produces a different key, and stale entries are
+simply never addressed again.  Writes are atomic (temp file +
+``os.replace``) so concurrent campaigns sharing a cache directory can
+only ever observe complete entries; corrupt or foreign files read as
+cache misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, or ``$XDG_CACHE_HOME/repro``, or
+    ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+class ResultStore:
+    """A content-addressed JSON store under one cache directory."""
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self._results = self.root / "results"
+
+    def path_for(self, key: str) -> Path:
+        return self._results / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The stored payload, or ``None`` (missing or unreadable)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: Dict) -> Path:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def has(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def delete(self, key: str) -> bool:
+        try:
+            self.path_for(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def iter_keys(self) -> Iterator[str]:
+        if not self._results.exists():
+            return
+        for path in sorted(self._results.glob("*/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_keys())
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        n = 0
+        for key in list(self.iter_keys()):
+            n += self.delete(key)
+        return n
+
+    def __repr__(self):
+        return f"ResultStore({str(self.root)!r})"

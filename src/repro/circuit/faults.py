@@ -18,7 +18,7 @@ Two universes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.circuit.netlist import Circuit, Gate
 
@@ -51,6 +51,15 @@ class Fault:
         """The signal whose stable value must differ from the stuck value
         for the fault to be *excited* (paper §5.1)."""
         return self.site
+
+    def to_json(self) -> List:
+        """Compact JSON form: ``[kind, gate, site, value]``."""
+        return [self.kind, self.gate, self.site, self.value]
+
+    @staticmethod
+    def from_json(data: Sequence) -> "Fault":
+        kind, gate, site, value = data
+        return Fault(str(kind), int(gate), int(site), int(value))
 
 
 def input_fault_universe(circuit: Circuit) -> List[Fault]:

@@ -1,4 +1,4 @@
-"""Command line interface: ``repro-atpg`` (or ``python -m repro.cli``).
+"""Command line interfaces: ``repro-atpg`` and ``repro-campaign``.
 
 Examples::
 
@@ -6,15 +6,24 @@ Examples::
     repro-atpg ebergen                   # ATPG on a bundled benchmark
     repro-atpg ebergen --style two-level --model output
     repro-atpg path/to/circuit.net --show-tests
+    repro-atpg converta --json           # one result as a JSON object
+
+    repro-campaign                       # Table 1 corpus, all cores
+    repro-campaign --table2 --workers 4 --out out/table2
+    repro-campaign dff chu150 --seeds 0,1,2 --no-cache
+    repro-atpg --campaign --table2       # alias for repro-campaign
+
+``python -m repro.cli`` behaves like ``repro-atpg``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from repro.benchmarks_data import TABLE1_NAMES, benchmark_names, load_benchmark
+from repro.benchmarks_data import benchmark_names, load_benchmark
 from repro.circuit.parser import load_netlist
 from repro.core.atpg import AtpgEngine, AtpgOptions
 from repro.errors import ReproError
@@ -60,10 +69,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--show-undetected", action="store_true", help="print undetected faults"
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the result as one JSON object instead of the summary",
+    )
     return parser
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if "--campaign" in argv:  # alias: repro-atpg --campaign ... == repro-campaign ...
+        return campaign_main([a for a in argv if a != "--campaign"])
     args = build_arg_parser().parse_args(argv)
     if args.list:
         for name in benchmark_names():
@@ -73,18 +90,22 @@ def main(argv=None) -> int:
         print("error: give a benchmark name or .net path (or --list)", file=sys.stderr)
         return 2
     try:
-        if args.circuit in TABLE1_NAMES:
+        path = Path(args.circuit)
+        if args.circuit in benchmark_names():
             circuit = load_benchmark(args.circuit, style=args.style)
-        else:
-            path = Path(args.circuit)
-            if not path.exists():
-                print(
-                    f"error: {args.circuit!r} is neither a bundled benchmark "
-                    "nor an existing file",
-                    file=sys.stderr,
-                )
-                return 2
+        elif path.exists():
             circuit = load_netlist(path)
+        elif "/" in args.circuit or args.circuit.endswith(".net"):
+            print(
+                f"error: {args.circuit!r} is neither a bundled benchmark "
+                "nor an existing file",
+                file=sys.stderr,
+            )
+            return 2
+        else:
+            # A bare word that names neither a benchmark nor a file:
+            # raise the ReproError that lists the available benchmarks.
+            circuit = load_benchmark(args.circuit, style=args.style)
         options = AtpgOptions(
             fault_model=args.model,
             seed=args.seed,
@@ -96,6 +117,9 @@ def main(argv=None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if args.json:
+        print(json.dumps(result.to_json_dict(), indent=2))
+        return 0
     print(result.summary())
     if args.show_tests:
         for i, test in enumerate(result.tests):
@@ -107,6 +131,174 @@ def main(argv=None) -> int:
             status = result.statuses[fault].status
             print(f"  undetected [{status}]: {fault.describe(circuit)}")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# repro-campaign
+# ---------------------------------------------------------------------------
+
+
+def build_campaign_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description=(
+            "Run an ATPG campaign: many (circuit, fault model, seed) jobs "
+            "sharded across worker processes, with a content-addressed "
+            "result cache so unchanged jobs are never recomputed."
+        ),
+    )
+    parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        help=(
+            "bundled benchmark names and/or .net paths "
+            "(default: the paper's Table 1 corpus)"
+        ),
+    )
+    parser.add_argument(
+        "--table2",
+        action="store_true",
+        help="default to the Table 2 subset with the two-level back end",
+    )
+    parser.add_argument(
+        "--style",
+        default=None,
+        choices=["complex", "two-level"],
+        help="synthesis back end (default: complex, or two-level with --table2)",
+    )
+    parser.add_argument(
+        "--models",
+        default="output,input",
+        help="comma list of fault models to run (default: output,input)",
+    )
+    parser.add_argument(
+        "--seeds", default="0", help="comma list of random-TPG seeds (default: 0)"
+    )
+    parser.add_argument("--k", type=int, default=None, help="test-cycle bound k")
+    parser.add_argument(
+        "--cssg-method",
+        default="auto",
+        choices=["auto", "exact", "ternary", "hybrid"],
+        help="CSSG vector-validity analysis",
+    )
+    parser.add_argument(
+        "--random-walks", type=int, default=None, help="random TPG walk count"
+    )
+    parser.add_argument(
+        "--walk-len", type=int, default=None, help="random TPG walk length"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (0 = in-process; default: CPU count)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job timeout in seconds (default: 600)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="neither read nor write the cache"
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="ignore cached results but still store fresh ones",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write table.txt / campaign.csv / campaign.json here"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the campaign manifest as JSON instead of the table",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress on stderr"
+    )
+    return parser
+
+
+def campaign_main(argv=None) -> int:
+    from repro.benchmarks_data import TABLE1_NAMES, TABLE2_NAMES
+    from repro.campaign import (
+        CampaignSpec,
+        ResultStore,
+        campaign_manifest,
+        expand,
+        rows_from_outcomes,
+        run_campaign,
+        write_artifacts,
+    )
+    from repro.campaign.runner import DEFAULT_JOB_TIMEOUT
+    from repro.core.report import format_table
+
+    args = build_campaign_parser().parse_args(argv)
+    names = list(args.benchmarks) or list(
+        TABLE2_NAMES if args.table2 else TABLE1_NAMES
+    )
+    style = args.style or ("two-level" if args.table2 else "complex")
+    option_fields = {"cssg_method": args.cssg_method}
+    if args.random_walks is not None:
+        option_fields["random_walks"] = args.random_walks
+    if args.walk_len is not None:
+        option_fields["walk_len"] = args.walk_len
+    try:
+        spec = CampaignSpec(
+            benchmarks=names,
+            styles=(style,),
+            fault_models=tuple(m.strip() for m in args.models.split(",") if m.strip()),
+            seeds=tuple(int(s) for s in args.seeds.split(",") if s.strip()),
+            ks=(args.k,),
+            options=AtpgOptions(**option_fields),
+        )
+        jobs = expand(spec)
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+
+    def progress(outcome, done, total):
+        if args.quiet:
+            return
+        line = f"[{done}/{total}] {outcome.job.name}: {outcome.status}"
+        if outcome.executed:
+            line += f" ({outcome.seconds:.2f}s)"
+        if outcome.error:
+            line += f" — {outcome.error}"
+        print(line, file=sys.stderr)
+
+    title = "Table-2 campaign" if args.table2 else "Campaign"
+    report = run_campaign(
+        jobs,
+        workers=args.workers,
+        store=store,
+        timeout=args.timeout if args.timeout is not None else DEFAULT_JOB_TIMEOUT,
+        progress=progress,
+        refresh=args.refresh,
+    )
+    if args.out:
+        write_artifacts(args.out, report, spec, title=title)
+    if args.json:
+        print(json.dumps(campaign_manifest(spec, report, title=title), indent=2))
+    else:
+        print(format_table(rows_from_outcomes(report.outcomes), title=title))
+    print(report.summary(), file=sys.stderr)
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            print(
+                f"error: {outcome.job.name}: {outcome.status} {outcome.error}",
+                file=sys.stderr,
+            )
+    return 0 if report.all_ok else 1
 
 
 if __name__ == "__main__":

@@ -15,8 +15,10 @@ fault counts plus the rnd / 3-ph / sim split and CPU time.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
 
 from repro.circuit.faults import Fault, fault_universe
 from repro.circuit.netlist import Circuit
@@ -31,6 +33,13 @@ from repro.core.three_phase import (
 )
 from repro.sgraph.cssg import Cssg, build_cssg
 from repro.sim.batch import FaultBatch
+
+
+#: Version of the :meth:`AtpgResult.to_json_dict` schema.  Bump whenever
+#: the serialized layout changes shape; the campaign result cache treats
+#: any other version as a miss, so stale entries are recomputed rather
+#: than misread.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -65,6 +74,17 @@ class AtpgOptions:
     # Lossless for coverage; reduces per-fault work.
     collapse: bool = False
 
+    def to_json_dict(self) -> Dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_json_dict(data: Dict) -> "AtpgOptions":
+        known = {f.name for f in fields(AtpgOptions)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ReproError(f"unknown AtpgOptions fields: {unknown}")
+        return AtpgOptions(**data)
+
 
 @dataclass
 class FaultStatus:
@@ -75,6 +95,36 @@ class FaultStatus:
     phase: str = ""  # "rnd" / "3-ph" / "sim" when detected
     test_index: Optional[int] = None
 
+    def to_json_dict(self) -> Dict:
+        return {
+            "fault": self.fault.to_json(),
+            "status": self.status,
+            "phase": self.phase,
+            "test_index": self.test_index,
+        }
+
+    @staticmethod
+    def from_json_dict(data: Dict) -> "FaultStatus":
+        return FaultStatus(
+            fault=Fault.from_json(data["fault"]),
+            status=str(data["status"]),
+            phase=str(data["phase"]),
+            test_index=(
+                None if data["test_index"] is None else int(data["test_index"])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CssgSummary:
+    """The CSSG facts a serialized result keeps: enough for reports and
+    :meth:`AtpgResult.summary`, without the full state graph."""
+
+    k: int
+    reset: int
+    n_states: int
+    n_edges: int
+
 
 @dataclass
 class AtpgResult:
@@ -82,7 +132,7 @@ class AtpgResult:
 
     circuit: Circuit
     options: AtpgOptions
-    cssg: Cssg
+    cssg: Union[Cssg, CssgSummary]
     faults: List[Fault]
     statuses: Dict[Fault, FaultStatus]
     tests: TestSet
@@ -119,6 +169,102 @@ class AtpgResult:
     def undetected_faults(self) -> List[Fault]:
         return [f for f in self.faults if self.statuses[f].status != DETECTED]
 
+    # -- JSON contract (the campaign result cache stores exactly this) --
+
+    def to_json_dict(self) -> Dict:
+        """Canonical JSON form: the whole Table 1/2 row plus every test
+        and per-fault verdict.  ``from_json_dict`` inverts it; two runs
+        are *the same result* iff these dicts agree up to
+        ``cpu_seconds``."""
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "circuit": {
+                "name": self.circuit.name,
+                "n_inputs": self.circuit.n_inputs,
+                "n_signals": self.circuit.n_signals,
+            },
+            "options": self.options.to_json_dict(),
+            "cssg": {
+                "k": self.cssg.k,
+                "reset": self.cssg.reset,
+                "n_states": self.cssg.n_states,
+                "n_edges": self.cssg.n_edges,
+            },
+            "faults": [f.to_json() for f in self.faults],
+            "statuses": [self.statuses[f].to_json_dict() for f in self.faults],
+            "tests": [t.to_json_dict() for t in self.tests],
+            "cpu_seconds": self.cpu_seconds,
+            # Derived, but stored so payload consumers (campaign
+            # artifacts, dashboards) read the headline numbers instead
+            # of re-deriving the coverage arithmetic.
+            "n_total": self.n_total,
+            "n_covered": self.n_covered,
+            "n_random": self.n_random,
+            "n_three_phase": self.n_three_phase,
+            "n_fault_sim": self.n_fault_sim,
+            "n_undetectable": self.n_undetectable,
+            "n_aborted": self.n_aborted,
+        }
+
+    @staticmethod
+    def from_json_dict(data: Dict, circuit: Circuit) -> "AtpgResult":
+        """Rebuild a result against ``circuit`` (the CSSG comes back as a
+        :class:`CssgSummary`).  Raises :class:`ReproError` on a schema
+        version or circuit mismatch."""
+        version = data.get("schema_version")
+        if version != RESULT_SCHEMA_VERSION:
+            raise ReproError(
+                f"result schema version {version!r} != {RESULT_SCHEMA_VERSION}"
+            )
+        shape = data["circuit"]
+        if (shape["name"], shape["n_signals"]) != (circuit.name, circuit.n_signals):
+            raise ReproError(
+                f"serialized result is for {shape['name']!r} "
+                f"({shape['n_signals']} signals), not {circuit.name!r} "
+                f"({circuit.n_signals} signals)"
+            )
+        faults = [Fault.from_json(f) for f in data["faults"]]
+        statuses = [FaultStatus.from_json_dict(s) for s in data["statuses"]]
+        tests = TestSet(circuit, [Test.from_json_dict(t) for t in data["tests"]])
+        g = data["cssg"]
+        return AtpgResult(
+            circuit=circuit,
+            options=AtpgOptions.from_json_dict(data["options"]),
+            cssg=CssgSummary(
+                k=int(g["k"]),
+                reset=int(g["reset"]),
+                n_states=int(g["n_states"]),
+                n_edges=int(g["n_edges"]),
+            ),
+            faults=faults,
+            statuses={s.fault: s for s in statuses},
+            tests=tests,
+            cpu_seconds=float(data["cpu_seconds"]),
+            n_random=int(data["n_random"]),
+            n_three_phase=int(data["n_three_phase"]),
+            n_fault_sim=int(data["n_fault_sim"]),
+            n_undetectable=int(data["n_undetectable"]),
+            n_aborted=int(data["n_aborted"]),
+        )
+
+
+def cssg_for(circuit: Circuit, opts: AtpgOptions) -> Cssg:
+    """Build the CSSG exactly as :meth:`AtpgEngine.run` would, resolving
+    the ``"auto"`` method by circuit size.  Exposed so callers that run
+    several option variants of one circuit (both fault models, many
+    seeds — the campaign runner) can share one construction."""
+    method = opts.cssg_method
+    if method == "auto":
+        method = (
+            "hybrid" if circuit.n_signals <= opts.auto_exact_limit else "ternary"
+        )
+    return build_cssg(
+        circuit,
+        k=opts.k,
+        max_input_changes=opts.max_input_changes,
+        method=method,
+    )
+
 
 class AtpgEngine:
     """Run the complete flow on one circuit."""
@@ -135,19 +281,7 @@ class AtpgEngine:
         opts = self.options
         start = time.perf_counter()
         if cssg is None:
-            method = opts.cssg_method
-            if method == "auto":
-                method = (
-                    "hybrid"
-                    if self.circuit.n_signals <= opts.auto_exact_limit
-                    else "ternary"
-                )
-            cssg = build_cssg(
-                self.circuit,
-                k=opts.k,
-                max_input_changes=opts.max_input_changes,
-                method=method,
-            )
+            cssg = cssg_for(self.circuit, opts)
         if faults is None:
             faults = fault_universe(self.circuit, opts.fault_model)
         faults = list(faults)

@@ -7,8 +7,11 @@ tot/cov, then the input-model detections split into the random ("rnd"),
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.atpg import AtpgResult
 
@@ -34,6 +37,22 @@ class TableRow:
     @property
     def in_fc(self) -> float:
         return self.in_cov / self.in_tot if self.in_tot else 1.0
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON form, derived coverages included."""
+        return {
+            "name": self.name,
+            "out_tot": self.out_tot,
+            "out_cov": self.out_cov,
+            "out_fc": self.out_fc,
+            "in_tot": self.in_tot,
+            "in_cov": self.in_cov,
+            "in_fc": self.in_fc,
+            "rnd": self.rnd,
+            "three_ph": self.three_ph,
+            "sim": self.sim,
+            "cpu": self.cpu,
+        }
 
 
 def result_row(
@@ -80,3 +99,26 @@ def format_table(rows: Sequence[TableRow], title: str = "") -> str:
     if in_tot:
         lines.append(f"Total input-stuck-at  FC: {100.0 * in_cov / in_tot:.2f}%")
     return "\n".join(lines)
+
+
+#: Column order of :func:`to_csv`, matching :meth:`TableRow.to_dict` keys.
+CSV_COLUMNS = (
+    "name", "out_tot", "out_cov", "out_fc", "in_tot", "in_cov", "in_fc",
+    "rnd", "three_ph", "sim", "cpu",
+)
+
+
+def to_csv(rows: Sequence[TableRow]) -> str:
+    """Render rows as CSV with a header line — the machine-readable twin
+    of :func:`format_table`; campaign artifacts use it verbatim."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=CSV_COLUMNS, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row.to_dict())
+    return buf.getvalue()
+
+
+def to_json(rows: Sequence[TableRow], indent: Optional[int] = 2) -> str:
+    """Render rows as a JSON array of :meth:`TableRow.to_dict` objects."""
+    return json.dumps([row.to_dict() for row in rows], indent=indent)

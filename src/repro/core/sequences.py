@@ -9,7 +9,7 @@ applied by a real-life synchronous tester without risking races.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.circuit.faults import Fault
 from repro.circuit.netlist import Circuit
@@ -32,6 +32,21 @@ class Test:
         """Render each pattern as an input-ordered bit string."""
         m = circuit.n_inputs
         return ["".join(str((p >> i) & 1) for i in range(m)) for p in self.patterns]
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "patterns": list(self.patterns),
+            "faults": [f.to_json() for f in self.faults],
+            "source": self.source,
+        }
+
+    @staticmethod
+    def from_json_dict(data: Dict) -> "Test":
+        return Test(
+            patterns=tuple(int(p) for p in data["patterns"]),
+            faults=[Fault.from_json(f) for f in data["faults"]],
+            source=str(data["source"]),
+        )
 
 
 @dataclass

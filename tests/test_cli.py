@@ -1,8 +1,11 @@
 """The repro-atpg command line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.core.atpg import RESULT_SCHEMA_VERSION
 
 
 def test_list(capsys):
@@ -61,3 +64,21 @@ def test_no_random_flag(capsys):
     assert main(["hazard", "--no-random"]) == 0
     out = capsys.readouterr().out
     assert "rnd 0," in out
+
+
+def test_unknown_benchmark_name_is_a_clean_error(capsys):
+    """A bad bare name exits 1 with a message, not a traceback."""
+    assert main(["ebergenX"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "unknown benchmark" in err and "ebergen" in err
+    assert "Traceback" not in err
+
+
+def test_json_flag_emits_one_result_object(capsys):
+    assert main(["dff", "--json", "--seed", "4"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["schema_version"] == RESULT_SCHEMA_VERSION
+    assert data["circuit"]["name"] == "dff-complex"
+    assert data["options"]["seed"] == 4
+    assert len(data["statuses"]) == len(data["faults"]) > 0

@@ -2,7 +2,7 @@
 
 from repro.benchmarks_data import load_benchmark
 from repro.core.atpg import AtpgEngine, AtpgOptions
-from repro.core.report import TableRow, format_table, result_row
+from repro.core.report import TableRow, format_table, result_row, to_csv, to_json
 
 
 def test_result_row_combines_models():
@@ -43,3 +43,23 @@ def test_format_table_handles_empty_totals():
     text = format_table(rows)
     assert "output-stuck-at" not in text
     assert "input-stuck-at" in text
+
+
+def test_to_csv_layout():
+    rows = [
+        TableRow("alpha", 10, 10, 20, 18, 9, 6, 3, 1.25),
+        TableRow("beta", 8, 6, 12, 9, 5, 4, 0, 0.5),
+    ]
+    lines = to_csv(rows).splitlines()
+    assert lines[0] == "name,out_tot,out_cov,out_fc,in_tot,in_cov,in_fc,rnd,three_ph,sim,cpu"
+    assert lines[1].startswith("alpha,10,10,1.0,20,18,0.9,9,6,3,1.25")
+    assert len(lines) == 3
+
+
+def test_to_json_round_trips_rows():
+    import json
+
+    rows = [TableRow("alpha", 10, 10, 20, 18, 9, 6, 3, 1.25)]
+    data = json.loads(to_json(rows))
+    assert data == [rows[0].to_dict()]
+    assert data[0]["in_fc"] == 0.9

@@ -1,0 +1,105 @@
+"""JSON round-trip contract for ATPG results (the cache's foundation)."""
+
+import json
+
+import pytest
+
+from repro.benchmarks_data import load_benchmark
+from repro.circuit.faults import Fault
+from repro.core.atpg import (
+    RESULT_SCHEMA_VERSION,
+    AtpgEngine,
+    AtpgOptions,
+    AtpgResult,
+    CssgSummary,
+    FaultStatus,
+)
+from repro.core.sequences import Test
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def ebergen_result():
+    circuit = load_benchmark("ebergen", "complex")
+    return circuit, AtpgEngine(circuit, AtpgOptions(seed=3)).run()
+
+
+def test_fault_round_trip():
+    fault = Fault("input", 5, 2, 1)
+    assert Fault.from_json(fault.to_json()) == fault
+
+
+def test_test_round_trip():
+    test = Test((3, 1, 2), [Fault("output", 4, 4, 0)], source="random")
+    back = Test.from_json_dict(test.to_json_dict())
+    assert back == test
+    assert isinstance(back.patterns, tuple)
+
+
+def test_fault_status_round_trip():
+    status = FaultStatus(Fault("input", 1, 0, 1), "detected", "rnd", 7)
+    assert FaultStatus.from_json_dict(status.to_json_dict()) == status
+    none_ix = FaultStatus(Fault("output", 2, 2, 0), "undetectable")
+    assert FaultStatus.from_json_dict(none_ix.to_json_dict()) == none_ix
+
+
+def test_options_round_trip():
+    opts = AtpgOptions(fault_model="output", seed=9, k=12, collapse=True)
+    assert AtpgOptions.from_json_dict(opts.to_json_dict()) == opts
+
+
+def test_options_reject_unknown_fields():
+    with pytest.raises(ReproError, match="unknown AtpgOptions"):
+        AtpgOptions.from_json_dict({"fault_model": "input", "bogus": 1})
+
+
+def test_result_round_trip_is_a_fixed_point(ebergen_result):
+    circuit, result = ebergen_result
+    data = result.to_json_dict()
+    assert data["schema_version"] == RESULT_SCHEMA_VERSION
+    back = AtpgResult.from_json_dict(data, circuit)
+    assert back.to_json_dict() == data  # canonical form: exact fixed point
+
+
+def test_result_round_trip_equality(ebergen_result):
+    circuit, result = ebergen_result
+    back = AtpgResult.from_json_dict(result.to_json_dict(), circuit)
+    assert back.options == result.options
+    assert back.faults == result.faults
+    assert back.statuses == result.statuses  # per-fault detection records
+    assert [t.patterns for t in back.tests] == [t.patterns for t in result.tests]
+    assert [t.faults for t in back.tests] == [t.faults for t in result.tests]
+    assert (back.n_total, back.n_covered, back.coverage) == (
+        result.n_total,
+        result.n_covered,
+        result.coverage,
+    )
+    assert back.cssg == CssgSummary(
+        k=result.cssg.k,
+        reset=result.cssg.reset,
+        n_states=result.cssg.n_states,
+        n_edges=result.cssg.n_edges,
+    )
+    assert back.summary() == result.summary()
+
+
+def test_result_survives_json_text(ebergen_result):
+    circuit, result = ebergen_result
+    text = json.dumps(result.to_json_dict())
+    back = AtpgResult.from_json_dict(json.loads(text), circuit)
+    assert back.to_json_dict() == result.to_json_dict()
+
+
+def test_result_rejects_wrong_schema_version(ebergen_result):
+    circuit, result = ebergen_result
+    data = result.to_json_dict()
+    data["schema_version"] = RESULT_SCHEMA_VERSION + 1
+    with pytest.raises(ReproError, match="schema version"):
+        AtpgResult.from_json_dict(data, circuit)
+
+
+def test_result_rejects_wrong_circuit(ebergen_result):
+    circuit, result = ebergen_result
+    other = load_benchmark("hazard", "complex")
+    with pytest.raises(ReproError, match="serialized result is for"):
+        AtpgResult.from_json_dict(result.to_json_dict(), other)
