@@ -11,7 +11,8 @@ import pytest
 
 from repro.benchmarks_data import load_benchmark
 from repro.circuit.faults import input_fault_universe
-from repro.core.atpg import AtpgEngine, AtpgOptions
+from repro.core.atpg import AtpgOptions
+from repro.flow import Flow
 from repro.core.random_tpg import random_tpg
 from repro.sgraph.cssg import build_cssg
 from repro.sgraph.symbolic import SymbolicTcsg
@@ -25,7 +26,7 @@ def test_random_budget_split(benchmark):
     def sweep():
         for walks, length in ((1, 1), (4, 8), (16, 64)):
             options = AtpgOptions(seed=11, random_walks=walks, walk_len=length)
-            results[(walks, length)] = AtpgEngine(circuit, options).run()
+            results[(walks, length)] = Flow.default().run(circuit, options)
         return results
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
@@ -122,7 +123,7 @@ def test_exact_vs_ternary_faulty_semantics(benchmark):
     def run_both():
         for semantics in ("exact", "ternary"):
             options = AtpgOptions(seed=11, faulty_semantics=semantics)
-            results[semantics] = AtpgEngine(circuit, options).run()
+            results[semantics] = Flow.default().run(circuit, options)
         return results
 
     benchmark.pedantic(run_both, rounds=1, iterations=1)
@@ -134,7 +135,7 @@ def test_exact_vs_ternary_faulty_semantics(benchmark):
     per = {}
     for semantics in ("exact", "ternary"):
         options = AtpgOptions(seed=11, faulty_semantics=semantics)
-        per[semantics] = AtpgEngine(suite, options).run()
+        per[semantics] = Flow.default().run(suite, options)
     assert per["exact"].n_covered >= per["ternary"].n_covered
 
 
@@ -149,7 +150,7 @@ def test_fault_collapsing_ablation(benchmark):
     def run_both():
         for collapse in (False, True):
             options = AtpgOptions(seed=11, collapse=collapse)
-            results[collapse] = AtpgEngine(circuit, options).run()
+            results[collapse] = Flow.default().run(circuit, options)
         return results
 
     benchmark.pedantic(run_both, rounds=1, iterations=1)

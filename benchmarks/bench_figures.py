@@ -7,7 +7,6 @@
   measured through a 3-phase generation run.
 """
 
-import pytest
 
 from repro.benchmarks_data import load_benchmark, load_figure_circuit
 from repro.circuit.faults import input_fault_universe

@@ -19,7 +19,6 @@ from repro.campaign import (
     rows_from_outcomes,
     run_campaign,
 )
-from repro.core.atpg import AtpgOptions
 from repro.core.report import format_table
 
 

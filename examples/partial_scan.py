@@ -11,7 +11,7 @@ Run:  python examples/partial_scan.py [benchmark-name]
 
 import sys
 
-from repro import AtpgEngine, AtpgOptions, load_benchmark
+from repro import AtpgOptions, Flow, load_benchmark
 from repro.ext import insert_scan_inputs, rank_scan_candidates
 
 
@@ -19,7 +19,7 @@ def main() -> None:
     name = sys.argv[1] if len(sys.argv) > 1 else "vbe6a"
     circuit = load_benchmark(name, style="two-level")
     options = AtpgOptions(fault_model="input", seed=3)
-    base = AtpgEngine(circuit, options).run()
+    base = Flow.default().run(circuit, options)
     print(f"without scan: {base.summary()}")
     undetected = base.undetected_faults()
     if not undetected:
@@ -36,7 +36,7 @@ def main() -> None:
         if len(chosen) < n_cuts:
             break
         scanned = insert_scan_inputs(circuit, chosen)
-        result = AtpgEngine(scanned, options).run()
+        result = Flow.default().run(scanned, options)
         print(f"\nscan {{{', '.join(chosen)}}}: "
               f"{result.n_covered}/{result.n_total} "
               f"({100.0 * result.coverage:.1f}%) — CSSG grew to "

@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py [benchmark-name]
 
 import sys
 
-from repro import AtpgEngine, AtpgOptions, load_benchmark
+from repro import AtpgOptions, Flow, load_benchmark
 
 
 def main() -> None:
@@ -20,7 +20,7 @@ def main() -> None:
     print(f"  inputs : {', '.join(circuit.input_names)}")
     print(f"  outputs: {', '.join(circuit.output_names)}")
 
-    result = AtpgEngine(circuit, AtpgOptions(fault_model="input", seed=1)).run()
+    result = Flow.default().run(circuit, AtpgOptions(fault_model="input", seed=1))
 
     print(f"\nCSSG: {result.cssg.n_states} stable states, "
           f"{result.cssg.n_edges} valid vectors "

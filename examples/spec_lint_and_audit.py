@@ -13,7 +13,7 @@ Two library features a production user leans on:
 Run:  python examples/spec_lint_and_audit.py
 """
 
-from repro import AtpgEngine, AtpgOptions, load_benchmark, parse_stg
+from repro import AtpgOptions, Flow, load_benchmark, parse_stg
 from repro.core.verify import audit_result
 from repro.stg.analysis import analyse_stg
 
@@ -52,7 +52,7 @@ def main() -> None:
 
     print("\n=== auditing an ATPG run ===")
     circuit = load_benchmark("mmu", style="complex")
-    result = AtpgEngine(circuit, AtpgOptions(fault_model="input", seed=6)).run()
+    result = Flow.default().run(circuit, AtpgOptions(fault_model="input", seed=6))
     print(result.summary())
     audit = audit_result(result)
     print(audit.summary())

@@ -11,8 +11,8 @@ Run:  python examples/stg_to_tests.py
 """
 
 from repro import (
-    AtpgEngine,
     AtpgOptions,
+    Flow,
     build_state_graph,
     check_csc,
     parse_stg,
@@ -54,9 +54,9 @@ def main() -> None:
         for gate in circuit.gates:
             print(f"  {gate.name:12} = {gate.expr}")
         for model in ("output", "input"):
-            result = AtpgEngine(
+            result = Flow.default().run(
                 circuit, AtpgOptions(fault_model=model, seed=2)
-            ).run()
+            )
             print(f"  {model:6}-stuck-at: {result.n_covered}/{result.n_total} "
                   f"({100.0 * result.coverage:.1f}%) in "
                   f"{result.tests.n_vectors} vectors")

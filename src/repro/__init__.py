@@ -13,9 +13,16 @@ Public API quick map:
   :class:`SymbolicTcsg`
 * STGs — :func:`parse_stg`, :func:`load_stg`, :func:`build_state_graph`,
   :func:`synthesize`
-* ATPG — :class:`AtpgEngine`, :class:`AtpgOptions`
+* ATPG flow — :class:`Flow` (staged pipeline; ``Flow.default()`` is the
+  paper's collapse → random TPG → 3-phase → compaction), :class:`Budget`
+  (deadline + per-fault caps), :class:`RunContext`, the typed event
+  stream (:class:`EventBus`, :mod:`repro.flow.events`) and its consumers
+  (:class:`ProgressLine`, :class:`TraceWriter`, :class:`Heartbeat`);
+  options/results — :class:`AtpgOptions`, :class:`AtpgResult`
+  (:class:`AtpgEngine` survives as a deprecated facade)
 * campaigns — :class:`CampaignSpec`, :func:`expand`, :func:`run_campaign`,
-  :class:`ResultStore` (sharded corpus runs with a content-addressed cache)
+  :class:`ResultStore` (sharded corpus runs with a content-addressed
+  cache and per-job flow heartbeats)
 * benchmarks — :func:`load_benchmark`, :func:`benchmark_names`,
   :data:`TABLE1_NAMES`, :data:`TABLE2_NAMES`
 """
@@ -50,6 +57,16 @@ from repro.campaign import (
     expand,
     run_campaign,
     write_artifacts,
+)
+from repro.flow import (
+    Budget,
+    EventBus,
+    Flow,
+    Heartbeat,
+    ProgressLine,
+    RunContext,
+    Stage,
+    TraceWriter,
 )
 from repro.sgraph import Cssg, SettleReport, build_cssg, settle_report
 from repro.sgraph.symbolic import SymbolicTcsg
@@ -89,6 +106,14 @@ __all__ = [
     "AtpgEngine",
     "AtpgOptions",
     "AtpgResult",
+    "Budget",
+    "EventBus",
+    "Flow",
+    "Heartbeat",
+    "ProgressLine",
+    "RunContext",
+    "Stage",
+    "TraceWriter",
     "Test",
     "TestSet",
     "format_table",

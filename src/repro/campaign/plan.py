@@ -6,7 +6,10 @@ or ``.net`` netlist path), a synthesis style, and fully-resolved
 
 * the **source bytes** (the ``.g`` STG or ``.net`` netlist file — the
   circuit is a pure function of those plus the style),
-* the **options** (canonical JSON, every field),
+* the **options** (canonical JSON, every field — including the flow's
+  stage gates ``collapse`` / ``compact`` and ``deadline_seconds``),
+* the **stage list** the flow runs (``DEFAULT_STAGE_NAMES`` unless a
+  caller passes a custom pipeline), and
 * the **code version** (:data:`CODE_VERSION`, bumped when an algorithm
   change alters results) and the result schema version.
 
@@ -30,6 +33,7 @@ from repro.benchmarks_data import (
 )
 from repro.core.atpg import RESULT_SCHEMA_VERSION, AtpgOptions
 from repro.errors import ReproError
+from repro.flow import DEFAULT_STAGE_NAMES
 
 #: Bump on any change to synthesis / CSSG / ATPG that alters results.
 #: Part of every job key, so a bump invalidates the whole cache at once.
@@ -134,14 +138,26 @@ def source_fingerprint(source_kind: str, source: str) -> str:
     return hashlib.sha256(path.read_bytes()).hexdigest()
 
 
-def job_key(fingerprint: str, style: str, options: AtpgOptions) -> str:
-    """The content hash a job's result is stored under."""
+def job_key(
+    fingerprint: str,
+    style: str,
+    options: AtpgOptions,
+    stages: Sequence[str] = DEFAULT_STAGE_NAMES,
+) -> str:
+    """The content hash a job's result is stored under.
+
+    ``stages`` is the flow's stage-name pipeline; campaigns run
+    ``Flow.default()`` so the default is
+    :data:`~repro.flow.DEFAULT_STAGE_NAMES`, and any change to the
+    default pipeline (or a campaign over a custom one) lands in the key
+    and invalidates stale cache entries."""
     doc = {
         "code_version": CODE_VERSION,
         "schema_version": RESULT_SCHEMA_VERSION,
         "source_sha256": fingerprint,
         "style": style,
         "options": options.to_json_dict(),
+        "stages": list(stages),
     }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -13,7 +13,13 @@
 4. a worker that dies (crash) or exceeds the per-job timeout is killed
    and replaced; the job in flight is marked ``crashed``/``timeout``,
    the unstarted remainder of its group is re-queued, and the campaign
-   carries on.
+   carries on;
+5. while a job runs, its flow event stream drives a throttled
+   **heartbeat** back to the parent, so a slow-but-alive job is
+   distinguishable from a hung one: with ``hang_timeout`` set, a busy
+   worker that has been *silent* (no heartbeat, no completion) that
+   long is killed early with status ``hung``, while a job that keeps
+   beating is allowed to run all the way to the hard ``timeout``.
 
 ``workers=0`` runs everything in-process (no subprocess, no pickling),
 which is what the table benchmarks use so their timings measure ATPG,
@@ -35,14 +41,22 @@ from repro.campaign.store import ResultStore
 from repro.circuit.netlist import Circuit
 from repro.core.atpg import (
     RESULT_SCHEMA_VERSION,
-    AtpgEngine,
     AtpgResult,
     cssg_for,
 )
 from repro.errors import ReproError
+from repro.flow import Flow, Heartbeat
 
 #: Default per-job wall-clock budget in worker mode.
 DEFAULT_JOB_TIMEOUT = 600.0
+
+#: How long a busy worker may be silent (no heartbeat, no completion)
+#: before it is presumed hung.  ``None`` disables early hang detection;
+#: the hard per-job ``timeout`` still applies either way.
+DEFAULT_HANG_TIMEOUT = None
+
+#: Minimum seconds between heartbeats a worker relays to the parent.
+HEARTBEAT_INTERVAL = 0.5
 
 #: Test-only hook: set to ``"<source>:<marker path>"`` to make the first
 #: worker that picks up a job for ``source`` hard-exit (simulating a
@@ -58,7 +72,7 @@ class JobOutcome:
     """How one job was resolved."""
 
     job: Job
-    status: str  #: "cached" | "ran" | "failed" | "crashed" | "timeout"
+    status: str  #: "cached" | "ran" | "failed" | "crashed" | "timeout" | "hung"
     payload: Optional[Dict] = None  #: the result JSON when ok
     error: str = ""
     seconds: float = 0.0
@@ -133,10 +147,17 @@ def load_job_circuit(job: Job) -> Circuit:
     return load_netlist(job.source)
 
 
-def execute_job(job: Job, cssg_memo: Optional[Dict] = None) -> AtpgResult:
-    """Run one job, optionally sharing CSSG construction through
-    ``cssg_memo`` (all fault-model / seed variants of one circuit use
-    the same graph, exactly like the sequential table harness did)."""
+def execute_job(
+    job: Job,
+    cssg_memo: Optional[Dict] = None,
+    listeners=(),
+) -> AtpgResult:
+    """Run one job through ``Flow.default()``, optionally sharing CSSG
+    construction through ``cssg_memo`` (all fault-model / seed variants
+    of one circuit use the same graph, exactly like the sequential table
+    harness did).  ``listeners`` subscribe to the job's flow event
+    stream — the worker loop wires a :class:`~repro.flow.Heartbeat`
+    here."""
     circuit = load_job_circuit(job)
     opts = job.options
     cssg = None
@@ -150,9 +171,27 @@ def execute_job(job: Job, cssg_memo: Optional[Dict] = None) -> AtpgResult:
         )
         cssg = cssg_memo.get(memo_key)
         if cssg is None:
+            # Narrate the memoized construction exactly as Flow.run
+            # would narrate its own: listeners (the heartbeat included)
+            # see a beat right before the longest silent stretch.
+            from repro.circuit.faults import fault_universe
+            from repro.flow import StageFinished, StageStarted
+
+            n_faults = len(fault_universe(circuit, opts.fault_model))
+            for listener in listeners:
+                listener(StageStarted("cssg", n_faults))
+            t0 = time.perf_counter()
             cssg = cssg_for(circuit, opts)
             cssg_memo[memo_key] = cssg
-    return AtpgEngine(circuit, opts).run(cssg=cssg)
+            for listener in listeners:
+                listener(
+                    StageFinished(
+                        "cssg",
+                        time.perf_counter() - t0,
+                        f"{cssg.n_states} states / {cssg.n_edges} edges",
+                    )
+                )
+    return Flow.default().run(circuit, opts, cssg=cssg, listeners=listeners)
 
 
 def _fresh_payload(store: Optional[ResultStore], job: Job) -> Optional[Dict]:
@@ -192,8 +231,17 @@ def _worker_main(wid: int, task_q, event_q) -> None:
         for job in jobs:
             _maybe_crash_for_test(job)
             t0 = time.perf_counter()
+            # Liveness relay: at most one beat per HEARTBEAT_INTERVAL,
+            # driven by the job's own flow events.  One beat fires
+            # unconditionally at pickup, so the hang clock starts from
+            # "job started", not from the first flow event.
+            event_q.put(("beat", wid, job.key, 0.0))
+            beat = Heartbeat(
+                lambda key=job.key: event_q.put(("beat", wid, key, 0.0)),
+                min_interval=HEARTBEAT_INTERVAL,
+            )
             try:
-                result = execute_job(job, cssg_memo)
+                result = execute_job(job, cssg_memo, listeners=(beat,))
                 event_q.put(
                     ("done", wid, job.key, time.perf_counter() - t0,
                      result.to_json_dict())
@@ -223,14 +271,34 @@ class _Pool:
     workers process batches strictly in order, so when a worker dies or
     goes silent past the per-job timeout, the first batch job without a
     completion event *is* the culprit: it gets the ``crashed`` /
-    ``timeout`` outcome, the rest of the batch is re-queued first in
-    line, and a replacement worker is spawned.  Nothing about failure
-    handling depends on event delivery from a crashing process."""
+    ``timeout`` / ``hung`` outcome, the rest of the batch is re-queued
+    first in line, and a replacement worker is spawned.  Nothing about
+    failure handling depends on event delivery from a crashing process.
 
-    def __init__(self, pending: List[Job], workers: int, timeout: float):
+    Two clocks govern a busy worker: ``timeout`` measures since the last
+    *completion* event (the hard per-job budget), while ``hang_timeout``
+    — when set — measures since the last sign of life of any kind
+    (completion *or* flow heartbeat).  A job whose flow keeps emitting
+    events beats every :data:`HEARTBEAT_INTERVAL` and therefore only
+    ever hits the hard budget; a job gone truly silent is culled after
+    ``hang_timeout`` instead of occupying a worker for the full
+    ``timeout``."""
+
+    def __init__(
+        self,
+        pending: List[Job],
+        workers: int,
+        timeout: float,
+        hang_timeout: Optional[float] = None,
+    ):
         self.ctx = _mp_context()
         self.event_q = self.ctx.Queue()
         self.timeout = timeout
+        # Floor: below a few heartbeat intervals even a perfectly
+        # beating job would be culled between relays.
+        if hang_timeout is not None:
+            hang_timeout = max(hang_timeout, 4 * HEARTBEAT_INTERVAL)
+        self.hang_timeout = hang_timeout
         self.job_of = {j.key: j for j in pending}
         self.target_workers = workers
         self.next_wid = 0
@@ -241,6 +309,8 @@ class _Pool:
         #: yet, in the order the worker runs them.
         self.worker_remaining: Dict[int, List[Job]] = {}
         self.worker_last_event: Dict[int, float] = {}
+        #: last sign of life of any kind (completion or heartbeat).
+        self.worker_last_beat: Dict[int, float] = {}
 
         groups: Dict[str, List[Job]] = {}
         for job in pending:
@@ -272,6 +342,7 @@ class _Pool:
         self.next_batch_id += 1
         self.worker_remaining[wid] = list(batch)
         self.worker_last_event[wid] = time.monotonic()
+        self.worker_last_beat[wid] = time.monotonic()
         self.task_qs[wid].put((batch_id, batch))
 
     def dispatch_all(self) -> None:
@@ -281,10 +352,16 @@ class _Pool:
     def note_event(self, wid: int, key: Optional[str]) -> None:
         """Record a completion event: the job is no longer in flight."""
         self.worker_last_event[wid] = time.monotonic()
+        self.worker_last_beat[wid] = time.monotonic()
         if key is not None:
             self.worker_remaining[wid] = [
                 j for j in self.worker_remaining[wid] if j.key != key
             ]
+
+    def note_beat(self, wid: int) -> None:
+        """Record a heartbeat: the worker is alive and making progress
+        (the per-job completion clock keeps running)."""
+        self.worker_last_beat[wid] = time.monotonic()
 
     def drop_worker(self, wid: int, kill: bool) -> List[Job]:
         """Remove a worker; returns its unfinished batch jobs in order
@@ -295,6 +372,7 @@ class _Pool:
         proc.join(timeout=5)
         self.task_qs.pop(wid)
         self.worker_last_event.pop(wid, None)
+        self.worker_last_beat.pop(wid, None)
         return self.worker_remaining.pop(wid)
 
     def requeue_first(self, jobs: List[Job]) -> None:
@@ -323,13 +401,21 @@ def run_campaign(
     timeout: float = DEFAULT_JOB_TIMEOUT,
     progress: Optional[Callable[[JobOutcome, int, int], None]] = None,
     refresh: bool = False,
+    hang_timeout: Optional[float] = DEFAULT_HANG_TIMEOUT,
 ) -> CampaignReport:
     """Resolve every job: from the cache when possible, else by running
     it.  ``workers=0`` executes in-process; ``workers=None`` uses the
     machine's CPU count.  ``store=None`` disables caching entirely;
     ``refresh=True`` bypasses cache reads but still stores fresh
     results (existing entries are only ever overwritten, never deleted,
-    so an interrupted refresh loses nothing)."""
+    so an interrupted refresh loses nothing).  ``hang_timeout`` kills a
+    busy worker that has shown no sign of life (heartbeat or
+    completion) for that many seconds — shorter than ``timeout``, which
+    is the hard budget a *live* job may spend on one result.  Beats are
+    driven by flow events, so set ``hang_timeout`` above the longest
+    *silent* stretch a healthy job can have: a single CSSG construction
+    or one 3-phase product search emits nothing while it runs (a floor
+    of a few heartbeat intervals is enforced automatically)."""
     jobs = list(jobs)
     if workers is None:
         workers = os.cpu_count() or 1
@@ -381,7 +467,9 @@ def run_campaign(
                     )
                 )
     elif pending:
-        _run_pool(pending, min(workers, len(pending)), timeout, resolve)
+        _run_pool(
+            pending, min(workers, len(pending)), timeout, resolve, hang_timeout
+        )
 
     return CampaignReport(
         jobs=jobs,
@@ -396,8 +484,9 @@ def _run_pool(
     workers: int,
     timeout: float,
     resolve: Callable[[JobOutcome], None],
+    hang_timeout: Optional[float] = None,
 ) -> None:
-    pool = _Pool(pending, workers, timeout)
+    pool = _Pool(pending, workers, timeout, hang_timeout)
     unresolved = {j.key for j in pending}
     try:
         for _ in range(workers):
@@ -420,6 +509,10 @@ def _run_pool(
             if event is None:
                 continue
             kind, wid, key, seconds = event[0], event[1], event[2], event[3]
+            if kind == "beat":
+                if wid in pool.procs:
+                    pool.note_beat(wid)
+                continue
             if kind == "batch-done":
                 if wid in pool.procs:
                     pool.note_event(wid, None)
@@ -439,18 +532,31 @@ def _run_pool(
 
 
 def _police_workers(pool: _Pool, unresolved, resolve) -> None:
-    """Detect dead and over-deadline workers; replace them."""
+    """Detect dead, over-deadline, and silent (hung) workers; replace
+    them.  The hard ``timeout`` clock runs from the last completion
+    event; the ``hang_timeout`` clock from the last sign of life of any
+    kind, so heartbeat-emitting slow jobs survive until the hard budget
+    while truly silent ones are culled early."""
+    now = time.monotonic()
     for wid in list(pool.procs):
         proc = pool.procs[wid]
         busy = bool(pool.worker_remaining.get(wid))
         timed_out = (
-            busy
-            and time.monotonic() - pool.worker_last_event.get(wid, 0.0)
-            > pool.timeout
+            busy and now - pool.worker_last_event.get(wid, 0.0) > pool.timeout
         )
-        if proc.is_alive() and not timed_out:
+        hung = (
+            busy
+            and pool.hang_timeout is not None
+            and now - pool.worker_last_beat.get(wid, 0.0) > pool.hang_timeout
+        )
+        if proc.is_alive() and not timed_out and not hung:
             continue
-        status = "timeout" if (proc.is_alive() and timed_out) else "crashed"
+        if not proc.is_alive():
+            status = "crashed"
+        elif timed_out:
+            status = "timeout"
+        else:
+            status = "hung"
         leftovers = pool.drop_worker(wid, kill=True)
         if leftovers:
             # In-order processing: the first job without a completion
@@ -458,11 +564,15 @@ def _police_workers(pool: _Pool, unresolved, resolve) -> None:
             culprit, rest = leftovers[0], leftovers[1:]
             if culprit.key in unresolved:
                 unresolved.discard(culprit.key)
-                message = (
-                    f"exceeded per-job timeout ({pool.timeout:.0f}s)"
-                    if status == "timeout"
-                    else "worker process died"
-                )
+                if status == "timeout":
+                    message = f"exceeded per-job timeout ({pool.timeout:.0f}s)"
+                elif status == "hung":
+                    message = (
+                        "no heartbeat for "
+                        f"{pool.hang_timeout:.0f}s (presumed hung)"
+                    )
+                else:
+                    message = "worker process died"
                 resolve(JobOutcome(culprit, status, error=message))
             pool.requeue_first(rest)
         if unresolved and len(pool.procs) < pool.target_workers:

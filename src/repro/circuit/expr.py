@@ -23,7 +23,7 @@ The ternary operators used here are the standard monotone extensions:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.errors import ParseError
 

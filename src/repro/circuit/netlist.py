@@ -19,8 +19,8 @@ output; a state is *stable* when no gate is excited (§3.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro._bits import bit, bits_to_str, mask, set_bit
 from repro.circuit.expr import (

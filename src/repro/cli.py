@@ -7,6 +7,10 @@ Examples::
     repro-atpg ebergen --style two-level --model output
     repro-atpg path/to/circuit.net --show-tests
     repro-atpg converta --json           # one result as a JSON object
+    repro-atpg vbe6a --progress          # live stage/coverage line
+    repro-atpg vbe6a --trace out.jsonl   # structured event trace
+    repro-atpg vbe6a --deadline 0.5      # bounded run (partial result)
+    repro-atpg vbe6a --collapse --compact --faulty-semantics ternary
 
     repro-campaign                       # Table 1 corpus, all cores
     repro-campaign --table2 --workers 4 --out out/table2
@@ -25,8 +29,9 @@ from pathlib import Path
 
 from repro.benchmarks_data import benchmark_names, load_benchmark
 from repro.circuit.parser import load_netlist
-from repro.core.atpg import AtpgEngine, AtpgOptions
+from repro.core.atpg import AtpgOptions
 from repro.errors import ReproError
+from repro.flow import Flow, ProgressLine, TraceWriter
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -57,11 +62,49 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cssg-method",
         default="auto",
-        choices=["auto", "exact", "ternary"],
+        choices=["auto", "exact", "ternary", "hybrid"],
         help="CSSG vector-validity analysis",
     )
     parser.add_argument(
         "--no-random", action="store_true", help="skip the random TPG step"
+    )
+    parser.add_argument(
+        "--faulty-semantics",
+        default="exact",
+        choices=["exact", "ternary"],
+        help="faulty-machine semantics for the 3-phase generator",
+    )
+    parser.add_argument(
+        "--collapse",
+        action="store_true",
+        help="structural fault collapsing before generation",
+    )
+    parser.add_argument(
+        "--compact",
+        action="store_true",
+        help="static test-set compaction after generation",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget for the run; on expiry the untried "
+            "remainder is reported aborted (reason 'budget') and the "
+            "partial result is still valid"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live one-line progress from the flow event stream (stderr)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write the flow's event stream as JSON lines to FILE",
     )
     parser.add_argument(
         "--show-tests", action="store_true", help="print every generated sequence"
@@ -112,8 +155,30 @@ def main(argv=None) -> int:
             k=args.k,
             cssg_method=args.cssg_method,
             use_random_tpg=not args.no_random,
+            faulty_semantics=args.faulty_semantics,
+            collapse=args.collapse,
+            compact=args.compact,
+            deadline_seconds=args.deadline,
         )
-        result = AtpgEngine(circuit, options).run()
+        listeners = []
+        progress = trace = None
+        if args.progress:
+            progress = ProgressLine(sys.stderr)
+            listeners.append(progress)
+        if args.trace:
+            try:
+                trace = TraceWriter(args.trace)
+            except OSError as exc:
+                print(f"error: cannot open trace file: {exc}", file=sys.stderr)
+                return 1
+            listeners.append(trace)
+        try:
+            result = Flow.default().run(circuit, options, listeners=listeners)
+        finally:
+            if progress is not None:
+                progress.close()
+            if trace is not None:
+                trace.close()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -128,8 +193,11 @@ def main(argv=None) -> int:
             print(f"  test {i} [{test.source}]: {patterns}  -> {names}")
     if args.show_undetected:
         for fault in result.undetected_faults():
-            status = result.statuses[fault].status
-            print(f"  undetected [{status}]: {fault.describe(circuit)}")
+            record = result.statuses[fault]
+            label = record.status
+            if record.reason:
+                label += f": {record.reason}"
+            print(f"  undetected [{label}]: {fault.describe(circuit)}")
     return 0
 
 
@@ -198,6 +266,16 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="per-job timeout in seconds (default: 600)",
+    )
+    parser.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=None,
+        help=(
+            "kill a worker silent (no flow heartbeat) this long; "
+            "slow-but-alive jobs still get the full --timeout "
+            "(default: disabled)"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
@@ -284,6 +362,7 @@ def campaign_main(argv=None) -> int:
         timeout=args.timeout if args.timeout is not None else DEFAULT_JOB_TIMEOUT,
         progress=progress,
         refresh=args.refresh,
+        hang_timeout=args.hang_timeout,
     )
     if args.out:
         write_artifacts(args.out, report, spec, title=title)

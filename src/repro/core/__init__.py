@@ -1,14 +1,20 @@
-"""The paper's ATPG flow (§5).
+"""The paper's ATPG building blocks (§5).
 
-Pipeline implemented by :class:`repro.core.atpg.AtpgEngine`:
+The pipeline itself lives in :mod:`repro.flow` (``Flow.default()``:
+collapse → random TPG → 3-phase → compaction, over one
+``RunContext``).  This package holds the algorithms the stages call —
 
-1. build the CSSG (synchronous abstraction, §4);
-2. **random TPG** on the CSSG with parallel-ternary fault simulation to
-   cheaply cover a large fraction of faults (§5.4);
-3. **3-phase deterministic ATPG** per remaining fault — fault activation,
-   state justification, state differentiation (§5.1–5.3);
-4. **fault simulation** of every generated sequence against the still
-   undetected faults (§5.4).
+1. CSSG construction lives in :mod:`repro.sgraph` (§4);
+2. **random TPG** with parallel-ternary fault simulation (§5.4) —
+   :mod:`repro.core.random_tpg`;
+3. **3-phase deterministic ATPG** — activation, justification,
+   differentiation (§5.1–5.3) — :mod:`repro.core.three_phase`;
+4. **fault simulation** of generated sequences (§5.4) —
+   :func:`repro.flow.stages.fault_simulate` over :mod:`repro.sim`;
+
+— plus the shared data contract (:mod:`repro.core.atpg`:
+``AtpgOptions`` / ``AtpgResult`` / deprecated ``AtpgEngine`` facade),
+collapsing, compaction, verification, and reporting.
 """
 
 from repro.core.sequences import Test, TestSet

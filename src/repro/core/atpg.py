@@ -1,45 +1,40 @@
-"""Top-level ATPG engine: the paper's complete flow (§2 overview).
+"""ATPG result/option types and the legacy engine facade.
 
-``AtpgEngine(circuit).run()`` performs:
+The flow itself lives in :mod:`repro.flow`: a pipeline of composable
+stages (collapse → random TPG → 3-phase + fault sim → compaction) over a
+shared :class:`~repro.flow.context.RunContext`, with a run
+:class:`~repro.flow.budget.Budget` and a typed event stream.  This
+module keeps the *data contract* every consumer shares:
 
-1. CSSG construction (synchronous abstraction, §4);
-2. random TPG with parallel-ternary fault simulation (§5.4);
-3. per-fault 3-phase deterministic generation (§5.1–5.3);
-4. fault simulation of each deterministic test against the remaining
-   faults (§5.4), crediting extra detections to the "sim" column.
-
-The result mirrors one row of the paper's Tables 1/2: total and covered
-fault counts plus the rnd / 3-ph / sim split and CPU time.
+* :class:`AtpgOptions` — the tuning knobs (also the campaign cache key);
+* :class:`FaultStatus` / :class:`AtpgResult` — per-fault verdicts and
+  the complete Table 1/2 row, JSON round-trippable;
+* :class:`AtpgEngine` — **deprecated** thin facade over
+  ``Flow.default()``, kept so pre-flow callers keep working; it produces
+  byte-identical payloads (modulo ``cpu_seconds``).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import asdict, dataclass, field, fields
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import warnings
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ReproError
 
-from repro.circuit.faults import Fault, fault_universe
+from repro.circuit.faults import Fault
 from repro.circuit.netlist import Circuit
-from repro.core.random_tpg import random_tpg
 from repro.core.sequences import Test, TestSet
-from repro.core.three_phase import (
-    ABORTED,
-    DETECTED,
-    UNDETECTABLE,
-    GenerationOutcome,
-    ThreePhaseGenerator,
-)
+from repro.core.three_phase import DETECTED, UNDETECTABLE
 from repro.sgraph.cssg import Cssg, build_cssg
-from repro.sim.batch import FaultBatch
 
 
 #: Version of the :meth:`AtpgResult.to_json_dict` schema.  Bump whenever
 #: the serialized layout changes shape; the campaign result cache treats
 #: any other version as a miss, so stale entries are recomputed rather
-#: than misread.
-RESULT_SCHEMA_VERSION = 1
+#: than misread.  Version 2 added :attr:`FaultStatus.reason` (why a
+#: fault aborted) and the ``deadline_seconds`` / ``compact`` options.
+RESULT_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -73,6 +68,14 @@ class AtpgOptions:
     # per same-gate equivalence class and copy verdicts to the class.
     # Lossless for coverage; reduces per-fault work.
     collapse: bool = False
+    # Static test-set compaction after generation (CompactionStage):
+    # re-grade, keep essential tests, greedily cover the rest.
+    compact: bool = False
+    # Wall-clock budget for the whole run (None = unbounded).  Stages
+    # honor it cooperatively: when it expires, the untried remainder is
+    # classified aborted with reason "budget" and the partial result is
+    # still fully valid.
+    deadline_seconds: Optional[float] = None
 
     def to_json_dict(self) -> Dict:
         return asdict(self)
@@ -88,12 +91,21 @@ class AtpgOptions:
 
 @dataclass
 class FaultStatus:
-    """Final classification of one fault."""
+    """Final classification of one fault.
+
+    ``reason`` records *why* an aborted fault was given up on:
+    ``"budget"`` (run deadline expired before/while processing it),
+    ``"product-states"`` (per-fault product-state cap hit),
+    ``"activation-tries"`` (activation-target cap hit), or
+    ``"unprocessed"`` (no stage of a custom flow classified it).
+    Empty for detected / undetectable faults.
+    """
 
     fault: Fault
     status: str  # "detected" / "undetectable" / "aborted"
     phase: str = ""  # "rnd" / "3-ph" / "sim" when detected
     test_index: Optional[int] = None
+    reason: str = ""  # abort reason when status == "aborted"
 
     def to_json_dict(self) -> Dict:
         return {
@@ -101,6 +113,7 @@ class FaultStatus:
             "status": self.status,
             "phase": self.phase,
             "test_index": self.test_index,
+            "reason": self.reason,
         }
 
     @staticmethod
@@ -112,6 +125,7 @@ class FaultStatus:
             test_index=(
                 None if data["test_index"] is None else int(data["test_index"])
             ),
+            reason=str(data.get("reason", "")),
         )
 
 
@@ -168,6 +182,16 @@ class AtpgResult:
 
     def undetected_faults(self) -> List[Fault]:
         return [f for f in self.faults if self.statuses[f].status != DETECTED]
+
+    def abort_reasons(self) -> Dict[str, int]:
+        """Histogram of :attr:`FaultStatus.reason` over aborted faults,
+        e.g. ``{"budget": 12, "product-states": 1}``."""
+        counts: Dict[str, int] = {}
+        for status in self.statuses.values():
+            if status.status != DETECTED and status.status != UNDETECTABLE:
+                key = status.reason or "unknown"
+                counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items()))
 
     # -- JSON contract (the campaign result cache stores exactly this) --
 
@@ -267,9 +291,23 @@ def cssg_for(circuit: Circuit, opts: AtpgOptions) -> Cssg:
 
 
 class AtpgEngine:
-    """Run the complete flow on one circuit."""
+    """**Deprecated** facade over :meth:`repro.flow.Flow.default`.
+
+    ``AtpgEngine(circuit, options).run()`` is exactly
+    ``Flow.default().run(circuit, options)`` — same stages, same seeds,
+    identical :meth:`AtpgResult.to_json_dict` payload (modulo
+    ``cpu_seconds``).  New code should use the flow API directly: it
+    exposes the stage list, the run budget, and the event stream this
+    facade hides.
+    """
 
     def __init__(self, circuit: Circuit, options: Optional[AtpgOptions] = None):
+        warnings.warn(
+            "AtpgEngine is deprecated; use "
+            "repro.flow.Flow.default().run(circuit, options) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.circuit = circuit
         self.options = options or AtpgOptions()
 
@@ -278,138 +316,8 @@ class AtpgEngine:
         faults: Optional[Sequence[Fault]] = None,
         cssg: Optional[Cssg] = None,
     ) -> AtpgResult:
-        opts = self.options
-        start = time.perf_counter()
-        if cssg is None:
-            cssg = cssg_for(self.circuit, opts)
-        if faults is None:
-            faults = fault_universe(self.circuit, opts.fault_model)
-        faults = list(faults)
-        representative_of: Dict[Fault, Fault] = {f: f for f in faults}
-        work_list = faults
-        if opts.collapse:
-            from repro.core.collapse import collapse_faults
+        from repro.flow import Flow
 
-            work_list, representative_of = collapse_faults(self.circuit, faults)
-        statuses: Dict[Fault, FaultStatus] = {}
-        tests = TestSet(self.circuit)
-
-        # -- step 2: random TPG ------------------------------------------
-        n_random = 0
-        if opts.use_random_tpg and work_list:
-            detected_by, random_tests = random_tpg(
-                cssg,
-                work_list,
-                n_walks=opts.random_walks,
-                walk_len=opts.walk_len,
-                seed=opts.seed,
-            )
-            for test in random_tests:
-                test_index = len(tests.tests)
-                tests.add(test)
-                for fault in test.faults:
-                    statuses[fault] = FaultStatus(fault, DETECTED, "rnd", test_index)
-            n_random = len(detected_by)
-
-        # -- step 3: 3-phase + step 4: fault simulation -------------------
-        generator = ThreePhaseGenerator(
-            cssg,
-            opts.max_product_states,
-            faulty_semantics=opts.faulty_semantics,
+        return Flow.default().run(
+            self.circuit, self.options, faults=faults, cssg=cssg
         )
-        n_three_phase = 0
-        n_fault_sim = 0
-        n_undetectable = 0
-        n_aborted = 0
-        remaining = [f for f in work_list if f not in statuses]
-        for fault in remaining:
-            if fault in statuses:  # picked up by a previous fault's test
-                continue
-            outcome = generator.generate(fault, opts.max_activation_tries)
-            if outcome.status == DETECTED:
-                n_three_phase += 1
-                test = Test(outcome.patterns, [fault], source="3-phase")
-                test_index = len(tests.tests)
-                tests.add(test)
-                statuses[fault] = FaultStatus(fault, DETECTED, "3-ph", test_index)
-                if opts.use_fault_sim:
-                    others = [
-                        f for f in remaining if f not in statuses and f is not fault
-                    ]
-                    extra = _fault_simulate(cssg, others, outcome.patterns)
-                    for f in extra:
-                        statuses[f] = FaultStatus(f, DETECTED, "sim", test_index)
-                        test.faults.append(f)
-                        n_fault_sim += 1
-            elif outcome.status == UNDETECTABLE:
-                statuses[fault] = FaultStatus(fault, UNDETECTABLE)
-                n_undetectable += 1
-            else:
-                statuses[fault] = FaultStatus(fault, ABORTED)
-                n_aborted += 1
-
-        # Expand collapsed equivalence classes: members inherit their
-        # representative's verdict and test (identical faulty circuits).
-        if opts.collapse:
-            for fault in faults:
-                if fault in statuses:
-                    continue
-                rep_status = statuses[representative_of[fault]]
-                statuses[fault] = FaultStatus(
-                    fault, rep_status.status, rep_status.phase, rep_status.test_index
-                )
-                if (
-                    rep_status.status == DETECTED
-                    and rep_status.test_index is not None
-                ):
-                    tests.tests[rep_status.test_index].faults.append(fault)
-            # Recompute the per-phase split over the full universe.
-            n_random = sum(1 for s in statuses.values() if s.phase == "rnd")
-            n_three_phase = sum(1 for s in statuses.values() if s.phase == "3-ph")
-            n_fault_sim = sum(1 for s in statuses.values() if s.phase == "sim")
-            n_undetectable = sum(
-                1 for s in statuses.values() if s.status == UNDETECTABLE
-            )
-            n_aborted = sum(1 for s in statuses.values() if s.status == ABORTED)
-
-        cpu = time.perf_counter() - start
-        return AtpgResult(
-            circuit=self.circuit,
-            options=opts,
-            cssg=cssg,
-            faults=faults,
-            statuses=statuses,
-            tests=tests,
-            cpu_seconds=cpu,
-            n_random=n_random,
-            n_three_phase=n_three_phase,
-            n_fault_sim=n_fault_sim,
-            n_undetectable=n_undetectable,
-            n_aborted=n_aborted,
-        )
-
-
-def _fault_simulate(
-    cssg: Cssg, faults: Sequence[Fault], patterns: Sequence[int]
-) -> List[Fault]:
-    """Parallel-ternary simulation of one test over many faults (§5.4).
-
-    Returns the subset of ``faults`` the sequence definitely detects.
-    The conservativeness of ternary simulation may miss detections; the
-    paper accepts this because missed faults still get their own 3-phase
-    run later (§5.4, last paragraph).
-    """
-    if not faults:
-        return []
-    batch = FaultBatch(cssg.circuit, faults)
-    state = batch.reset_and_settle(cssg.reset)
-    good = cssg.reset
-    detected = batch.observe(state, good)
-    for pattern in patterns:
-        nxt = cssg.successor(good, pattern)
-        if nxt is None:
-            break
-        good = nxt
-        state = batch.apply_settled(state, pattern)
-        detected |= batch.observe(state, good)
-    return [f for j, f in enumerate(faults) if (detected >> j) & 1]

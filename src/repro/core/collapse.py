@@ -20,7 +20,6 @@ input SA-v ≡ output SA-(1-v), buffer chains collapse end to end.
 
 from __future__ import annotations
 
-from itertools import combinations
 from typing import Dict, List, Sequence, Tuple
 
 from repro._bits import set_bit

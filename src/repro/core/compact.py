@@ -36,7 +36,10 @@ def compact_test_set(
     """Return (compacted set, stats).
 
     Stats keys: ``n_before``/``n_after`` (test counts),
-    ``vectors_before``/``vectors_after``, ``n_essential``.
+    ``vectors_before``/``vectors_after``, ``n_essential``, and
+    ``kept_indices`` — the original indices of the kept tests in order,
+    so callers holding per-fault ``test_index`` references (the flow's
+    :class:`~repro.flow.stages.CompactionStage`) can remap them.
     """
     tests = list(tests)
     report = verify_test_set(cssg, tests, faults)
@@ -91,5 +94,6 @@ def compact_test_set(
         "vectors_before": sum(len(t) for t in tests),
         "vectors_after": compacted.n_vectors,
         "n_essential": n_essential,
+        "kept_indices": list(chosen),
     }
     return compacted, stats

@@ -14,7 +14,7 @@ simulation may under-report, never over-report).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.faults import Fault
 from repro.core.sequences import Test
@@ -29,6 +29,9 @@ def random_tpg(
     walk_len: int = 64,
     seed: int = 0,
     chunk_width: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+    on_walk: Optional[Callable[[int, int], None]] = None,
 ) -> Tuple[Dict[Fault, Tuple[int, ...]], List[Test]]:
     """Run random TPG; returns (detected fault -> sequence, kept tests).
 
@@ -39,9 +42,17 @@ def random_tpg(
     ``chunk_width`` splits the fault universe into fixed-width packed
     words (see :class:`repro.sim.batch.ChunkedFaultSim`); detection
     results are identical either way, so the default stays monolithic.
+
+    Cooperative hooks for the staged flow: ``rng`` supplies the random
+    stream (must be freshly seeded for reproducibility; overrides
+    ``seed``), ``should_stop`` is polled before each walk so a run
+    budget can cut the stage short at a walk boundary (everything
+    already detected stays detected), and ``on_walk(walk_index,
+    n_detected_so_far)`` reports per-walk progress.
     """
     circuit = cssg.circuit
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     if chunk_width is not None:
         batch = ChunkedFaultSim(circuit, faults, chunk_width)
     else:
@@ -50,8 +61,10 @@ def random_tpg(
     detected_by: Dict[Fault, Tuple[int, ...]] = {}
     tests: List[Test] = []
 
-    for _ in range(n_walks):
+    for walk_index in range(n_walks):
         if not undetected:
+            break
+        if should_stop is not None and should_stop():
             break
         state = batch.reset_and_settle(cssg.reset)
         good = cssg.reset
@@ -87,6 +100,8 @@ def random_tpg(
             tests.append(
                 Test(tuple(patterns[:last_useful]), covered, source="random")
             )
+        if on_walk is not None:
+            on_walk(walk_index, len(detected_by))
     return detected_by, tests
 
 

@@ -18,7 +18,12 @@ from repro.core.atpg import AtpgResult
 
 @dataclass
 class TableRow:
-    """One benchmark line of a Table 1/2-style report."""
+    """One benchmark line of a Table 1/2-style report.
+
+    ``aborted`` and ``abort_reasons`` surface the flow's abort ledger
+    (input-model run): how many faults were given up on and why, e.g.
+    ``"budget:3,product-states:1"`` — empty when nothing aborted.
+    """
 
     name: str
     out_tot: int
@@ -29,6 +34,8 @@ class TableRow:
     three_ph: int
     sim: int
     cpu: float
+    aborted: int = 0
+    abort_reasons: str = ""
 
     @property
     def out_fc(self) -> float:
@@ -52,6 +59,8 @@ class TableRow:
             "three_ph": self.three_ph,
             "sim": self.sim,
             "cpu": self.cpu,
+            "aborted": self.aborted,
+            "abort_reasons": self.abort_reasons,
         }
 
 
@@ -59,6 +68,7 @@ def result_row(
     name: str, output_result: Optional[AtpgResult], input_result: AtpgResult
 ) -> TableRow:
     """Combine the two fault-model runs of one benchmark into a row."""
+    reasons = input_result.abort_reasons()
     return TableRow(
         name=name,
         out_tot=output_result.n_total if output_result else 0,
@@ -70,6 +80,8 @@ def result_row(
         sim=input_result.n_fault_sim,
         cpu=(input_result.cpu_seconds
              + (output_result.cpu_seconds if output_result else 0.0)),
+        aborted=input_result.n_aborted,
+        abort_reasons=",".join(f"{k}:{v}" for k, v in reasons.items()),
     )
 
 
@@ -104,7 +116,7 @@ def format_table(rows: Sequence[TableRow], title: str = "") -> str:
 #: Column order of :func:`to_csv`, matching :meth:`TableRow.to_dict` keys.
 CSV_COLUMNS = (
     "name", "out_tot", "out_cov", "out_fc", "in_tot", "in_cov", "in_fc",
-    "rnd", "three_ph", "sim", "cpu",
+    "rnd", "three_ph", "sim", "cpu", "aborted", "abort_reasons",
 )
 
 

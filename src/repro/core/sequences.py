@@ -9,7 +9,7 @@ applied by a real-life synchronous tester without risking races.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.circuit.faults import Fault
 from repro.circuit.netlist import Circuit

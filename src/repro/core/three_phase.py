@@ -125,6 +125,10 @@ class GenerationOutcome:
     detected_during_justification: bool = False
     product_states_explored: int = 0
     semantics: str = "exact"  # which machine produced the outcome
+    #: Why an ABORTED fault was given up on: "product-states" when the
+    #: product-BFS node budget ran out, "activation-tries" when only the
+    #: activation-target cap stopped the search short of a proof.
+    reason: str = ""
 
     @property
     def detected(self) -> bool:
@@ -316,10 +320,22 @@ class ThreePhaseGenerator:
             if explored_total >= budget:
                 exhausted_everywhere = False
         status = UNDETECTABLE if exhausted_everywhere else ABORTED
+        reason = ""
+        if status == ABORTED:
+            # Today every abort traces to the product-state cap (an
+            # exhausted tried-target set always re-proves from reset);
+            # the activation-tries label is kept for defensive coverage
+            # of future search orders.
+            reason = (
+                "product-states"
+                if explored_total >= budget
+                else "activation-tries"
+            )
         return GenerationOutcome(
             fault,
             status,
             n_activation_states=len(activations),
             product_states_explored=explored_total,
             semantics=semantics,
+            reason=reason,
         )

@@ -15,12 +15,11 @@ silicon, and what the test suite uses to audit the engine's claims.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set
 
 from repro.circuit.faults import Fault
 from repro.circuit.netlist import Circuit
-from repro.core.sequences import Test, TestSet
-from repro.errors import StateGraphError
+from repro.core.sequences import Test
 from repro.sgraph.cssg import Cssg
 from repro.sim.batch import FaultBatch
 

@@ -12,7 +12,7 @@ counts them per output, which is what a coverage metric needs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.circuit.netlist import Circuit
 

@@ -1,0 +1,75 @@
+"""Run budgets: wall-clock deadline plus per-fault effort caps.
+
+A :class:`Budget` travels with the :class:`~repro.flow.context.RunContext`
+and is honored *cooperatively*: stages poll :meth:`Budget.expired` at
+their natural work boundaries (between random walks, between 3-phase
+faults) and wind down cleanly when the deadline passes, so a bounded run
+always yields a valid partial :class:`~repro.core.atpg.AtpgResult` with
+the untried remainder classified ``aborted`` / reason ``"budget"``.
+
+The per-fault caps (``max_product_states``, ``max_activation_tries``)
+bound the deterministic generator's effort on any single fault; the
+deadline bounds the whole run.  ``clock`` is injectable so tests can
+drive expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Budget", "REASON_BUDGET", "REASON_PRODUCT_STATES", "REASON_ACTIVATION"]
+
+#: Abort reasons recorded in :attr:`repro.core.atpg.FaultStatus.reason`.
+REASON_BUDGET = "budget"  #: the run's wall-clock deadline expired
+REASON_PRODUCT_STATES = "product-states"  #: per-fault product-state cap hit
+REASON_ACTIVATION = "activation-tries"  #: activation-target cap hit
+
+
+@dataclass
+class Budget:
+    """Cooperative limits for one flow run.
+
+    ``deadline_seconds=None`` means unbounded wall-clock.  The clock
+    starts at :meth:`start` (called by ``Flow.run`` before any work,
+    CSSG construction included).
+    """
+
+    deadline_seconds: Optional[float] = None
+    max_product_states: int = 200_000
+    max_activation_tries: int = 8
+    clock: Callable[[], float] = field(
+        default=time.perf_counter, repr=False, compare=False
+    )
+    _t0: Optional[float] = field(default=None, repr=False, compare=False)
+
+    @staticmethod
+    def from_options(options) -> "Budget":
+        """The budget an :class:`~repro.core.atpg.AtpgOptions` implies."""
+        return Budget(
+            deadline_seconds=options.deadline_seconds,
+            max_product_states=options.max_product_states,
+            max_activation_tries=options.max_activation_tries,
+        )
+
+    def start(self) -> "Budget":
+        self._t0 = self.clock()
+        return self
+
+    def elapsed(self) -> float:
+        if self._t0 is None:
+            return 0.0
+        return self.clock() - self._t0
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left, or ``None`` when there is no deadline."""
+        if self.deadline_seconds is None:
+            return None
+        return max(0.0, self.deadline_seconds - self.elapsed())
+
+    def expired(self) -> bool:
+        return (
+            self.deadline_seconds is not None
+            and self.elapsed() >= self.deadline_seconds
+        )

@@ -1,0 +1,144 @@
+"""Event-stream consumers: progress line, JSONL trace, heartbeats.
+
+Three ready-made listeners for the flow's :class:`EventBus`, all fed by
+the same typed stream:
+
+* :class:`ProgressLine` — a live single-line status on a TTY-ish stream
+  (``repro-atpg --progress``);
+* :class:`TraceWriter` — one JSON object per event, appended to a
+  ``.jsonl`` file (``repro-atpg --trace out.jsonl``); replayable by any
+  tool that reads JSON lines;
+* :class:`Heartbeat` — a throttled liveness callback; the campaign
+  runner's workers use it to tell the parent "slow but alive", so a
+  silent worker can be distinguished from a busy one.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Callable, IO, Optional, Union
+
+from repro.flow.events import (
+    BudgetExhausted,
+    FaultClassified,
+    FlowEvent,
+    ProgressTick,
+    StageFinished,
+    StageStarted,
+    TestAdded,
+)
+
+__all__ = ["ProgressLine", "TraceWriter", "Heartbeat"]
+
+
+class ProgressLine:
+    """Rewrites one status line per event batch: stage, progress,
+    running totals.  Call :meth:`close` (or use as a context manager)
+    to terminate the line with a newline."""
+
+    def __init__(self, stream: Optional[IO] = None):
+        self.stream = stream if stream is not None else sys.stderr
+        self.stage = ""
+        self.done = 0
+        self.total = 0
+        self.covered = 0
+        self.tests = 0
+        self.aborted = 0
+        self._dirty = False
+
+    def __call__(self, event: FlowEvent) -> None:
+        if isinstance(event, StageStarted):
+            self.stage = event.stage
+            self.done = self.total = 0
+        elif isinstance(event, ProgressTick):
+            self.stage = event.stage
+            self.done, self.total = event.done, event.total
+        elif isinstance(event, FaultClassified):
+            if event.status == "detected":
+                self.covered += 1
+            elif event.status == "aborted":
+                self.aborted += 1
+        elif isinstance(event, TestAdded):
+            self.tests = event.index + 1
+        elif isinstance(event, BudgetExhausted):
+            self.stage = f"{event.stage} (budget!)"
+        elif isinstance(event, StageFinished):
+            self.done = self.total
+        self._render()
+
+    def _render(self) -> None:
+        progress = f" {self.done}/{self.total}" if self.total else ""
+        line = (
+            f"\r[{self.stage or 'setup'}]{progress} "
+            f"covered={self.covered} tests={self.tests} aborted={self.aborted}"
+        )
+        self.stream.write(line.ljust(66))
+        self.stream.flush()
+        self._dirty = True
+
+    def close(self) -> None:
+        if self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False
+
+    def __enter__(self) -> "ProgressLine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TraceWriter:
+    """Writes every event as one JSON line: ``{"seq": N, "t": secs,
+    "event": "FaultClassified", ...}``.  A path target is truncated on
+    open; pass an open handle to control the file mode.  ``t`` is
+    seconds since the writer was created (wall clock — strip it when
+    diffing traces)."""
+
+    def __init__(self, target: Union[str, IO]):
+        if isinstance(target, str):
+            self._handle: IO = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._handle = target
+            self._owns = False
+        self._seq = 0
+        self._t0 = time.perf_counter()
+
+    def __call__(self, event: FlowEvent) -> None:
+        doc = {"seq": self._seq, "t": round(time.perf_counter() - self._t0, 6)}
+        doc.update(event.to_json_dict())
+        self._handle.write(json.dumps(doc, separators=(",", ":")) + "\n")
+        self._seq += 1
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owns:
+            self._handle.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Heartbeat:
+    """Throttled liveness relay: forwards at most one beat per
+    ``min_interval`` seconds to ``send``, no matter how dense the event
+    stream is.  The campaign worker wires ``send`` to its event queue so
+    the parent can tell a slow-but-alive job from a hung one."""
+
+    def __init__(self, send: Callable[[], None], min_interval: float = 0.5):
+        self.send = send
+        self.min_interval = min_interval
+        self._last = 0.0
+
+    def __call__(self, event: FlowEvent) -> None:
+        now = time.monotonic()
+        if now - self._last >= self.min_interval:
+            self._last = now
+            self.send()

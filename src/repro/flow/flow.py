@@ -1,0 +1,126 @@
+"""The staged ATPG pipeline: the public entry point of the flow API.
+
+``Flow.default().run(circuit, options)`` is the paper's complete flow;
+``Flow([...])`` composes any stage list over the same
+:class:`~repro.flow.context.RunContext`.  ``run`` brackets every enabled
+stage with ``StageStarted`` / ``StageFinished`` events (CSSG
+construction included, as the pseudo-stage ``"cssg"``), starts the run
+:class:`~repro.flow.budget.Budget` before any work, and finishes by
+freezing the context into an :class:`~repro.core.atpg.AtpgResult`.
+
+Listeners subscribe per run::
+
+    result = Flow.default().run(
+        circuit, options,
+        listeners=[ProgressLine(), TraceWriter("out.jsonl")],
+    )
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Sequence
+
+from repro.circuit.faults import Fault, fault_universe
+from repro.circuit.netlist import Circuit
+from repro.core.atpg import AtpgOptions, AtpgResult, cssg_for
+from repro.flow.budget import Budget
+from repro.flow.context import RunContext
+from repro.flow.events import EventBus, Listener, StageFinished, StageStarted
+from repro.flow.stages import (
+    CollapseStage,
+    CompactionStage,
+    RandomTpgStage,
+    Stage,
+    ThreePhaseStage,
+)
+from repro.sgraph.cssg import Cssg
+
+__all__ = ["Flow", "DEFAULT_STAGE_NAMES"]
+
+#: Stage order of :meth:`Flow.default`, in pipeline position.  Campaign
+#: job keys embed this (see :func:`repro.campaign.plan.job_key`) so a
+#: change to the default pipeline invalidates cached results.
+DEFAULT_STAGE_NAMES = ("collapse", "random-tpg", "three-phase", "compaction")
+
+
+class Flow:
+    """An ordered list of stages run over one shared context."""
+
+    def __init__(self, stages: Sequence[Stage]):
+        self.stages: List[Stage] = list(stages)
+
+    @staticmethod
+    def default() -> "Flow":
+        """The paper's pipeline; stages gate themselves on the options
+        (``collapse`` / ``use_random_tpg`` / ``compact``), so one flow
+        object serves every option combination."""
+        return Flow(
+            [
+                CollapseStage(),
+                RandomTpgStage(),
+                ThreePhaseStage(),
+                CompactionStage(),
+            ]
+        )
+
+    @property
+    def stage_names(self) -> List[str]:
+        return [stage.name for stage in self.stages]
+
+    def run(
+        self,
+        circuit: Circuit,
+        options: Optional[AtpgOptions] = None,
+        faults: Optional[Sequence[Fault]] = None,
+        cssg: Optional[Cssg] = None,
+        listeners: Iterable[Listener] = (),
+        budget: Optional[Budget] = None,
+    ) -> AtpgResult:
+        """Run the pipeline on ``circuit`` and return the result.
+
+        ``faults`` defaults to the full universe of
+        ``options.fault_model``; ``cssg`` may be passed in to share one
+        construction across runs (the campaign runner does).  ``budget``
+        overrides the one ``options`` implies (deadline + per-fault
+        caps) — mainly for tests that inject a fake clock.
+        """
+        opts = options if options is not None else AtpgOptions()
+        bus = EventBus()
+        for listener in listeners:
+            bus.subscribe(listener)
+        start = time.perf_counter()
+        run_budget = budget if budget is not None else Budget.from_options(opts)
+        run_budget.start()
+        if faults is None:
+            faults = fault_universe(circuit, opts.fault_model)
+        if cssg is None:
+            bus.emit(StageStarted("cssg", len(faults)))
+            t0 = time.perf_counter()
+            cssg = cssg_for(circuit, opts)
+            bus.emit(
+                StageFinished(
+                    "cssg",
+                    time.perf_counter() - t0,
+                    f"{cssg.n_states} states / {cssg.n_edges} edges",
+                )
+            )
+        ctx = RunContext(
+            circuit, opts, cssg, list(faults), bus=bus, budget=run_budget
+        )
+        for stage in self.stages:
+            if not stage.enabled(ctx):
+                continue
+            ctx.stage = stage.name
+            bus.emit(StageStarted(stage.name, len(ctx.remaining())))
+            t0 = time.perf_counter()
+            stage.run(ctx)
+            detail = ""
+            stats = ctx.stage_stats.get(stage.name)
+            if stats:
+                detail = " ".join(
+                    f"{key}={value}" for key, value in sorted(stats.items())
+                )
+            bus.emit(StageFinished(stage.name, time.perf_counter() - t0, detail))
+        ctx.stage = ""
+        return ctx.finish(time.perf_counter() - start)

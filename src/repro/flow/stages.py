@@ -1,0 +1,242 @@
+"""Built-in flow stages: the paper's pipeline as composable parts.
+
+Each stage implements the :class:`Stage` protocol — a ``name``, an
+``enabled(ctx)`` gate (driven by :class:`~repro.core.atpg.AtpgOptions`),
+and ``run(ctx)`` which reads and mutates the shared
+:class:`~repro.flow.context.RunContext`.  The default pipeline is
+
+    CollapseStage  →  RandomTpgStage  →  ThreePhaseStage  →  CompactionStage
+
+matching the paper's flow (§2, §5) with the two classic ATPG
+bracketing steps (structural collapsing before, static compaction
+after).  Stages honor the run :class:`~repro.flow.budget.Budget`
+cooperatively: :class:`RandomTpgStage` stops at a walk boundary,
+:class:`ThreePhaseStage` classifies every untried fault
+``aborted``/``"budget"`` once the deadline passes, and
+:class:`CompactionStage` skips (it only shrinks an already-valid test
+set).  A bounded run therefore always produces a complete, valid
+partial result.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence, runtime_checkable
+
+from repro.circuit.faults import Fault
+from repro.core.random_tpg import random_tpg
+from repro.core.sequences import Test
+from repro.core.three_phase import (
+    ABORTED,
+    DETECTED,
+    UNDETECTABLE,
+    ThreePhaseGenerator,
+)
+from repro.flow.budget import REASON_BUDGET
+from repro.flow.context import RunContext
+from repro.flow.events import BudgetExhausted, ProgressTick
+from repro.sgraph.cssg import Cssg
+from repro.sim.batch import FaultBatch
+
+__all__ = [
+    "Stage",
+    "CollapseStage",
+    "RandomTpgStage",
+    "ThreePhaseStage",
+    "CompactionStage",
+    "fault_simulate",
+]
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One step of a flow: reads/mutates the shared run context."""
+
+    name: str
+
+    def enabled(self, ctx: RunContext) -> bool:
+        """Whether the stage participates in this run (option gates)."""
+        ...
+
+    def run(self, ctx: RunContext) -> None:
+        ...
+
+
+class CollapseStage:
+    """Structural fault collapsing (classic ATPG front end).
+
+    Shrinks the work list to one representative per same-gate
+    equivalence class; :meth:`RunContext.finish` expands the classes
+    back, so coverage over the full universe is unchanged.
+    """
+
+    name = "collapse"
+
+    def enabled(self, ctx: RunContext) -> bool:
+        return bool(ctx.options.collapse and ctx.work_list)
+
+    def run(self, ctx: RunContext) -> None:
+        from repro.core.collapse import collapse_faults
+
+        ctx.work_list, ctx.representative_of = collapse_faults(
+            ctx.circuit, ctx.faults
+        )
+        ctx.stage_stats[self.name] = {
+            "n_faults": len(ctx.faults),
+            "n_representatives": len(ctx.work_list),
+        }
+
+
+class RandomTpgStage:
+    """Random walks on the CSSG with parallel fault simulation (§5.4)."""
+
+    name = "random-tpg"
+
+    def enabled(self, ctx: RunContext) -> bool:
+        return bool(ctx.options.use_random_tpg and ctx.work_list)
+
+    def run(self, ctx: RunContext) -> None:
+        opts = ctx.options
+
+        def on_walk(walk_index: int, n_detected: int) -> None:
+            ctx.bus.emit(
+                ProgressTick(
+                    self.name, walk_index + 1, opts.random_walks, n_detected
+                )
+            )
+
+        detected_by, random_tests = random_tpg(
+            ctx.cssg,
+            ctx.work_list,
+            n_walks=opts.random_walks,
+            walk_len=opts.walk_len,
+            rng=ctx.rng,
+            should_stop=ctx.budget.expired,
+            on_walk=on_walk,
+        )
+        for test in random_tests:
+            test_index = ctx.add_test(test)
+            for fault in test.faults:
+                ctx.classify(fault, DETECTED, "rnd", test_index)
+        ctx.stage_stats[self.name] = {"n_detected": len(detected_by)}
+
+
+class ThreePhaseStage:
+    """Per-fault 3-phase generation (§5.1–5.3) with interleaved
+    fault-simulation credit (§5.4): every deterministic test is graded
+    against the still-undetected faults immediately, so later faults it
+    covers never reach the expensive generator."""
+
+    name = "three-phase"
+
+    def enabled(self, ctx: RunContext) -> bool:
+        return True  # the classifier of last resort always runs
+
+    def run(self, ctx: RunContext) -> None:
+        opts = ctx.options
+        budget = ctx.budget
+        generator = ThreePhaseGenerator(
+            ctx.cssg,
+            budget.max_product_states,
+            faulty_semantics=opts.faulty_semantics,
+        )
+        remaining = ctx.remaining()
+        total = len(remaining)
+        budget_announced = False
+        for done, fault in enumerate(remaining, start=1):
+            if fault in ctx.statuses:  # picked up by a previous fault's test
+                continue
+            if budget.expired():
+                if not budget_announced:
+                    budget_announced = True
+                    n_left = sum(1 for f in remaining if f not in ctx.statuses)
+                    ctx.bus.emit(
+                        BudgetExhausted(self.name, "deadline", n_left)
+                    )
+                ctx.classify(fault, ABORTED, reason=REASON_BUDGET)
+                continue
+            outcome = generator.generate(fault, budget.max_activation_tries)
+            if outcome.status == DETECTED:
+                test = Test(outcome.patterns, [fault], source="3-phase")
+                extras: List[Fault] = []
+                if opts.use_fault_sim:
+                    others = [
+                        f
+                        for f in remaining
+                        if f not in ctx.statuses and f is not fault
+                    ]
+                    extras = fault_simulate(ctx.cssg, others, outcome.patterns)
+                    test.faults.extend(extras)
+                # Credit computed first so TestAdded.n_faults is final.
+                test_index = ctx.add_test(test)
+                ctx.classify(fault, DETECTED, "3-ph", test_index)
+                for extra in extras:
+                    ctx.classify(extra, DETECTED, "sim", test_index)
+            elif outcome.status == UNDETECTABLE:
+                ctx.classify(fault, UNDETECTABLE)
+            else:
+                ctx.classify(fault, ABORTED, reason=outcome.reason)
+            ctx.bus.emit(ProgressTick(self.name, done, total, ctx.n_covered))
+
+
+class CompactionStage:
+    """Static test-set compaction (wraps
+    :func:`repro.core.compact.compact_test_set`): re-grade every test,
+    keep essential ones, greedily cover the rest, and remap the fault
+    ledger's ``test_index`` references onto the compacted set."""
+
+    name = "compaction"
+
+    def enabled(self, ctx: RunContext) -> bool:
+        return bool(ctx.options.compact and ctx.tests.tests)
+
+    def run(self, ctx: RunContext) -> None:
+        from repro.core.compact import compact_test_set
+
+        if ctx.budget.expired():
+            return  # compaction only shrinks a valid set; honor the deadline
+        old_tests = ctx.tests.tests
+        compacted, stats = compact_test_set(ctx.cssg, old_tests, ctx.faults)
+        new_index_of = {
+            old: new for new, old in enumerate(stats["kept_indices"])
+        }
+        grading = [set(t.faults) for t in compacted.tests]
+        for fault, status in ctx.statuses.items():
+            if status.status != DETECTED or status.test_index is None:
+                continue
+            new_index = new_index_of.get(status.test_index)
+            if new_index is None:
+                # The fault's dedicated test was dropped, which the
+                # compactor only does when a kept test provably covers
+                # the fault — point the ledger at the first such test.
+                new_index = next(
+                    i for i, hits in enumerate(grading) if fault in hits
+                )
+            status.test_index = new_index
+        ctx.tests = compacted
+        ctx.stage_stats[self.name] = dict(stats)
+
+
+def fault_simulate(
+    cssg: Cssg, faults: Sequence[Fault], patterns: Sequence[int]
+) -> List[Fault]:
+    """Parallel-ternary simulation of one test over many faults (§5.4).
+
+    Returns the subset of ``faults`` the sequence definitely detects.
+    The conservativeness of ternary simulation may miss detections; the
+    paper accepts this because missed faults still get their own 3-phase
+    run later (§5.4, last paragraph).
+    """
+    if not faults:
+        return []
+    batch = FaultBatch(cssg.circuit, faults)
+    state = batch.reset_and_settle(cssg.reset)
+    good = cssg.reset
+    detected = batch.observe(state, good)
+    for pattern in patterns:
+        nxt = cssg.successor(good, pattern)
+        if nxt is None:
+            break
+        good = nxt
+        state = batch.apply_settled(state, pattern)
+        detected |= batch.observe(state, good)
+    return [f for j, f in enumerate(faults) if (detected >> j) & 1]

@@ -21,10 +21,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro._bits import hamming, mask
+from repro._bits import hamming
 from repro.circuit.netlist import Circuit
 from repro.errors import StateGraphError
-from repro.sgraph.explore import SettleReport, settle_report
+from repro.sgraph.explore import settle_report
 
 
 @dataclass

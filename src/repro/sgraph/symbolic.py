@@ -21,9 +21,8 @@ reachability/CSSG agree exactly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro._bits import mask
 from repro.bdd.manager import FALSE, TRUE, BddManager
 from repro.circuit.expr import OP_AND, OP_CONST, OP_NOT, OP_OR, OP_VAR, OP_XOR
 from repro.circuit.netlist import Circuit

@@ -11,7 +11,7 @@ raises :class:`~repro.errors.SafenessError` during reachability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.errors import SafenessError, StgError

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.errors import ConsistencyError, CscError, StgError
 from repro.stg.petrinet import Marking, Stg, Transition

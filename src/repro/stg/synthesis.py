@@ -229,8 +229,6 @@ def _product_resets(circuit: Circuit, values: Dict[str, int]):
     Product gates only read buffered inputs and signal gates, whose reset
     values are already known, so one bottom-free pass suffices.
     """
-    from repro.circuit.expr import eval_binary
-
     # Temporarily build an index map covering the known names.
     pending = []
     for name, expr, _ in circuit._gate_defs:  # noqa: SLF001 (pre-finalize peek)

@@ -211,12 +211,12 @@ def test_hung_job_times_out_and_campaign_continues(tmp_path, monkeypatch):
 
     real_execute = runner_mod.execute_job
 
-    def hang_on_chu150(job, cssg_memo=None):
+    def hang_on_chu150(job, cssg_memo=None, listeners=()):
         if job.source == "chu150":
             import time as time_mod
 
             time_mod.sleep(60)
-        return real_execute(job, cssg_memo)
+        return real_execute(job, cssg_memo, listeners)
 
     monkeypatch.setattr(runner_mod, "execute_job", hang_on_chu150)
     store = ResultStore(tmp_path)
@@ -229,6 +229,81 @@ def test_hung_job_times_out_and_campaign_continues(tmp_path, monkeypatch):
     assert all("timeout" in o.error for o in timed_out)
     ok = [o for o in report.outcomes if o.ok]
     assert {o.job.source for o in ok} == {"dff", "hazard"}
+
+
+# -- runner: heartbeats distinguish slow-but-alive from hung -----------------
+
+
+def _fork_only():
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("needs fork start method")
+
+
+def test_silent_job_is_culled_by_hang_timeout(tmp_path, monkeypatch):
+    """A job emitting no flow events (no heartbeats) is presumed hung
+    after hang_timeout, well before the hard per-job timeout."""
+    _fork_only()
+    import time as time_mod
+
+    import repro.campaign.runner as runner_mod
+
+    real_execute = runner_mod.execute_job
+
+    def silent_hang(job, cssg_memo=None, listeners=()):
+        if job.source == "chu150":
+            time_mod.sleep(60)  # never touches the listeners: silent
+        return real_execute(job, cssg_memo, listeners)
+
+    monkeypatch.setattr(runner_mod, "execute_job", silent_hang)
+    t0 = time_mod.monotonic()
+    report = run_campaign(
+        expand(small_spec()),
+        workers=2,
+        store=ResultStore(tmp_path),
+        timeout=60.0,
+        hang_timeout=1.0,
+    )
+    hung = [o for o in report.outcomes if o.status == "hung"]
+    assert {o.job.source for o in hung} == {"chu150"}
+    assert all("no heartbeat" in o.error for o in hung)
+    assert all(not o.ok and not o.executed for o in hung)
+    # Culled at ~hang_timeout, not the 60 s hard budget.
+    assert time_mod.monotonic() - t0 < 30
+    ok = [o for o in report.outcomes if o.ok]
+    assert {o.job.source for o in ok} == {"dff", "hazard"}
+
+
+def test_beating_job_survives_hang_timeout(tmp_path, monkeypatch):
+    """A slow-but-alive job — its flow keeps emitting events, so
+    heartbeats keep flowing — outlives hang_timeout and completes."""
+    _fork_only()
+    import time as time_mod
+
+    import repro.campaign.runner as runner_mod
+    from repro.flow.events import ProgressTick
+
+    real_execute = runner_mod.execute_job
+
+    def slow_but_alive(job, cssg_memo=None, listeners=()):
+        if job.source == "chu150":
+            # 2.4 s of work, narrated: beats outpace the 1 s hang_timeout.
+            for i in range(12):
+                time_mod.sleep(0.2)
+                for listener in listeners:
+                    listener(ProgressTick("slow-stage", i + 1, 12, 0))
+        return real_execute(job, cssg_memo, listeners)
+
+    monkeypatch.setattr(runner_mod, "execute_job", slow_but_alive)
+    report = run_campaign(
+        expand(small_spec()),
+        workers=2,
+        store=ResultStore(tmp_path),
+        timeout=60.0,
+        hang_timeout=1.0,
+    )
+    assert report.all_ok, [(o.job.name, o.status, o.error) for o in report.outcomes]
 
 
 # -- artifacts ---------------------------------------------------------------

@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.cli import main
 from repro.core.atpg import RESULT_SCHEMA_VERSION
 
@@ -82,3 +80,52 @@ def test_json_flag_emits_one_result_object(capsys):
     assert data["circuit"]["name"] == "dff-complex"
     assert data["options"]["seed"] == 4
     assert len(data["statuses"]) == len(data["faults"]) > 0
+
+
+def test_cssg_method_hybrid_is_accepted(capsys):
+    """Regression: 'hybrid' is a supported AtpgOptions.cssg_method but
+    the CLI choices used to reject it."""
+    assert main(["dff", "--cssg-method", "hybrid"]) == 0
+    assert "covered" in capsys.readouterr().out
+
+
+def test_library_knob_flags(capsys):
+    assert main(
+        ["ebergen", "--collapse", "--compact", "--faulty-semantics", "ternary",
+         "--json"]
+    ) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["options"]["collapse"] is True
+    assert data["options"]["compact"] is True
+    assert data["options"]["faulty_semantics"] == "ternary"
+
+
+def test_deadline_flag_yields_partial_result(capsys):
+    assert main(["ebergen", "--deadline", "0", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["options"]["deadline_seconds"] == 0.0
+    assert data["n_aborted"] == data["n_total"] > 0
+    assert all(s["reason"] == "budget" for s in data["statuses"])
+
+
+def test_show_undetected_includes_abort_reason(capsys):
+    assert main(["dff", "--deadline", "0", "--show-undetected"]) == 0
+    out = capsys.readouterr().out
+    assert "undetected [aborted: budget]" in out
+
+
+def test_progress_flag_renders_live_line(capsys):
+    assert main(["dff", "--progress"]) == 0
+    captured = capsys.readouterr()
+    assert "covered=" in captured.err
+    assert captured.err.endswith("\n")
+    assert "covered" in captured.out  # the summary still prints
+
+
+def test_trace_flag_writes_jsonl(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    assert main(["dff", "--trace", str(path)]) == 0
+    docs = [json.loads(line) for line in path.read_text().splitlines()]
+    assert docs[0]["event"] == "StageStarted"
+    events = {d["event"] for d in docs}
+    assert {"StageFinished", "FaultClassified", "TestAdded"} <= events

@@ -1,7 +1,5 @@
 """Materialized faulty circuits and set-based exact fault simulation."""
 
-import pytest
-
 from repro.circuit.faults import Fault, input_fault_universe, materialize_fault
 from repro.core.exact_sim import faulty_apply, faulty_detects, faulty_reset_states
 from repro.sgraph.cssg import build_cssg

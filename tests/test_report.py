@@ -51,7 +51,10 @@ def test_to_csv_layout():
         TableRow("beta", 8, 6, 12, 9, 5, 4, 0, 0.5),
     ]
     lines = to_csv(rows).splitlines()
-    assert lines[0] == "name,out_tot,out_cov,out_fc,in_tot,in_cov,in_fc,rnd,three_ph,sim,cpu"
+    assert lines[0] == (
+        "name,out_tot,out_cov,out_fc,in_tot,in_cov,in_fc,"
+        "rnd,three_ph,sim,cpu,aborted,abort_reasons"
+    )
     assert lines[1].startswith("alpha,10,10,1.0,20,18,0.9,9,6,3,1.25")
     assert len(lines) == 3
 

@@ -1,7 +1,5 @@
 """Test-sequence containers and the errors module."""
 
-import pytest
-
 from repro import errors
 from repro.benchmarks_data import load_benchmark
 from repro.circuit.faults import input_fault_universe

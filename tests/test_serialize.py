@@ -43,6 +43,30 @@ def test_fault_status_round_trip():
     assert FaultStatus.from_json_dict(none_ix.to_json_dict()) == none_ix
 
 
+def test_fault_status_reason_round_trip():
+    """Schema v2: the abort reason survives serialization."""
+    for reason in ("budget", "product-states", "activation-tries"):
+        status = FaultStatus(Fault("input", 3, 1, 0), "aborted", reason=reason)
+        back = FaultStatus.from_json_dict(status.to_json_dict())
+        assert back == status and back.reason == reason
+    assert RESULT_SCHEMA_VERSION == 2
+
+
+def test_aborted_result_round_trips_reasons():
+    """A deadline-cut partial result keeps its abort ledger through
+    JSON (the campaign cache path for bounded runs)."""
+    from repro.flow import Flow
+
+    circuit = load_benchmark("ebergen", "complex")
+    result = Flow.default().run(
+        circuit, AtpgOptions(seed=1, deadline_seconds=0.0)
+    )
+    assert result.n_aborted == result.n_total
+    back = AtpgResult.from_json_dict(result.to_json_dict(), circuit)
+    assert back.to_json_dict() == result.to_json_dict()
+    assert back.abort_reasons() == {"budget": result.n_total}
+
+
 def test_options_round_trip():
     opts = AtpgOptions(fault_model="output", seed=9, k=12, collapse=True)
     assert AtpgOptions.from_json_dict(opts.to_json_dict()) == opts
