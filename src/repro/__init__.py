@@ -9,8 +9,11 @@ Public API quick map:
 * circuits — :class:`Circuit`, :func:`parse_netlist`, :func:`load_netlist`
 * faults — :class:`Fault`, :func:`fault_universe`
 * simulation — :mod:`repro.sim` (ternary + parallel fault simulation)
-* state graphs — :func:`settle_report`, :func:`build_cssg`,
-  :class:`SymbolicTcsg`
+* state graphs — :func:`settle_report`, :func:`build_cssg` (with the
+  :class:`CssgBuilder` method registry: exact / ternary / hybrid /
+  symbolic), :class:`SymbolicTcsg`
+* BDD kernel — :class:`BddManager` (complement edges, unified ITE, GC,
+  in-place sifting; :class:`LegacyBddManager` is the seed oracle)
 * STGs — :func:`parse_stg`, :func:`load_stg`, :func:`build_state_graph`,
   :func:`synthesize`
 * ATPG flow — :class:`Flow` (staged pipeline; ``Flow.default()`` is the
@@ -68,7 +71,15 @@ from repro.flow import (
     Stage,
     TraceWriter,
 )
-from repro.sgraph import Cssg, SettleReport, build_cssg, settle_report
+from repro.bdd import BddManager, LegacyBddManager
+from repro.sgraph import (
+    CSSG_METHODS,
+    Cssg,
+    CssgBuilder,
+    SettleReport,
+    build_cssg,
+    settle_report,
+)
 from repro.sgraph.symbolic import SymbolicTcsg
 from repro.stg import (
     Stg,
@@ -126,7 +137,11 @@ __all__ = [
     "expand",
     "run_campaign",
     "write_artifacts",
+    "BddManager",
+    "LegacyBddManager",
+    "CSSG_METHODS",
     "Cssg",
+    "CssgBuilder",
     "SettleReport",
     "build_cssg",
     "settle_report",

@@ -1,43 +1,147 @@
-"""A reduced ordered BDD manager.
+"""The production ROBDD kernel.
+
+This is the engine behind the symbolic construction of the TCSG/CSSG
+(paper §3.1/§4.2) — rewritten for throughput, since symbolic traversal
+is the fast path for every circuit too large to enumerate explicitly.
 
 Design notes:
 
-* Nodes live in parallel arrays (``var``, ``lo``, ``hi``) addressed by
-  integer handles; 0 and 1 are the terminal handles.  A unique table
-  guarantees canonicity, so equality of functions is handle equality.
-* Variables are identified by their *level* (creation order = variable
-  order).  :meth:`rename` only accepts order-preserving maps, which is
-  all the interleaved current/next encoding of the symbolic traversal
-  needs (x_i at level 2i, y_i at level 2i+1).
-* All binary operations funnel through a memoized Shannon-expansion
-  ``apply``; quantification and the fused and-exists relational product
-  have their own caches, keyed per call by operation tag.
-
-No complement edges and no garbage collection: clarity over raw speed —
-the circuits in this reproduction have at most a few dozen variables.
+* **Complement edges.**  A function reference is ``(node_id << 1) | c``
+  where ``c`` complements the whole function; node 0 is the single
+  terminal, so ``FALSE == 0`` and ``TRUE == 1 == ~FALSE``.  Negation is
+  one XOR instead of a full traversal, and ``f`` / ``~f`` share every
+  node.  Canonical form: the *then* edge of a stored node is never
+  complemented (the complement is pushed onto the reference and the
+  else edge), so equality of functions is still equality of references.
+* **Unified ITE.**  Every binary connective is an ``ite(f, g, h)`` call
+  after standard-triple normalization (Brace/Rudell/Bryant), funnelled
+  through one operation cache keyed by packed integers — one dict, int
+  keys, no tuple hashing on the hot path.  Quantification, the fused
+  and-exists relational product, substitution and cofactor-flips share
+  the same cache with their own opcode tags.
+* **Variable order ≠ variable identity.**  Variables keep their creation
+  index forever; a ``var ↔ level`` permutation maps them to levels.  All
+  recursion compares *levels*, so the order can change under live
+  references.
+* **Mark-and-sweep GC.**  :meth:`collect` marks from registered roots
+  (:meth:`add_root`) plus any refs passed in, sweeps dead nodes onto a
+  free list for reuse, and invalidates the operation cache (freed ids
+  may be re-allocated to different functions).  Node ids of surviving
+  nodes do not move, so live references stay valid across collections.
+* **In-place sifting.**  :meth:`sift` reorders by adjacent level swaps
+  that rewrite nodes *in place* — a reference held by a caller keeps
+  denoting the same function before and after a reorder.  The classic
+  canonicity argument carries over to complement edges: the new then
+  edge of a swapped node is a cofactor of a regular then edge, hence
+  regular.
+* **Housekeeping is explicit.**  GC and reordering run only from
+  :meth:`collect` / :meth:`sift` / :meth:`checkpoint`, never from inside
+  an operation, so intermediate results of a running computation cannot
+  be reclaimed.  Long-running clients (the symbolic CSSG builder)
+  register their persistent functions as roots and call ``checkpoint()``
+  at iteration boundaries; the manager then collects and/or sifts when
+  the node count crosses the configured thresholds.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import BddError
 
 FALSE = 0
 TRUE = 1
 
+#: Sentinel level for the terminal node: below every real variable.
+_TERMINAL_LEVEL = 1 << 60
+
+# Opcode tags of the unified operation cache.
+_OP_ITE = 0
+_OP_EXISTS = 1
+_OP_AND_EXISTS = 2
+_OP_RENAME = 3
+_OP_RESTRICT = 4
+_OP_FLIP = 5
+
+#: Field width used to pack (ref, ref, ref/tag, op) into one int key.
+#: 2**34 node references is far beyond anything a Python process holds.
+_SHIFT = 34
+
+
+@dataclass
+class BddStats:
+    """Counters the manager keeps about itself.
+
+    ``peak_nodes`` is the high-water mark of allocated-and-not-freed
+    nodes (terminal included); ``n_gc_passes`` / ``n_reorders`` count
+    completed :meth:`~BddManager.collect` / :meth:`~BddManager.sift`
+    runs; ``cache_hits`` / ``cache_lookups`` profile the shared
+    operation cache.
+    """
+
+    peak_nodes: int = 0
+    n_allocated: int = 0
+    n_freed: int = 0
+    n_gc_passes: int = 0
+    n_reorders: int = 0
+    cache_hits: int = 0
+    cache_lookups: int = 0
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "peak_nodes": self.peak_nodes,
+            "n_allocated": self.n_allocated,
+            "n_freed": self.n_freed,
+            "n_gc_passes": self.n_gc_passes,
+            "n_reorders": self.n_reorders,
+            "cache_hits": self.cache_hits,
+            "cache_lookups": self.cache_lookups,
+        }
+
 
 class BddManager:
-    """Hash-consed ROBDD store plus the usual operations."""
+    """Hash-consed ROBDD store with complement edges, GC and reordering.
 
-    def __init__(self, n_vars: int = 0):
-        # Terminals occupy handles 0 and 1; their var is a sentinel level
-        # *below* every real variable so cofactor recursion stops cleanly.
-        self._var: List[int] = [1 << 60, 1 << 60]
-        self._lo: List[int] = [0, 1]
-        self._hi: List[int] = [0, 1]
+    ``auto_gc_nodes`` / ``auto_reorder_nodes`` arm :meth:`checkpoint`:
+    when the live node count crosses a threshold at a checkpoint, the
+    manager garbage-collects (and, for the reorder threshold, sifts)
+    against the registered roots.  Both default to off, in which case
+    the manager never reclaims or reorders behind a caller's back.
+    """
+
+    def __init__(
+        self,
+        n_vars: int = 0,
+        auto_gc_nodes: Optional[int] = None,
+        auto_reorder_nodes: Optional[int] = None,
+    ):
+        # Node 0 is the shared terminal (constant FALSE as a regular
+        # reference; TRUE is its complement).
+        self._var: List[int] = [-1]
+        self._lo: List[int] = [FALSE]
+        self._hi: List[int] = [FALSE]
         self._unique: Dict[Tuple[int, int, int], int] = {}
-        self._apply_cache: Dict[Tuple, int] = {}
+        self._free: List[int] = []
+        self._cache: Dict[int, int] = {}
+        self._var2level: List[int] = []
+        self._level2var: List[int] = []
+        self._roots: Dict[int, int] = {}
+        self._quant_tags: Dict[frozenset, int] = {}
+        self._subst_tags: Dict[Tuple, int] = {}
+        self.stats = BddStats(peak_nodes=1, n_allocated=1)
+        self.auto_gc_nodes = auto_gc_nodes
+        self.auto_reorder_nodes = auto_reorder_nodes
+        self._next_gc = auto_gc_nodes if auto_gc_nodes is not None else 0
+        self._next_reorder = (
+            auto_reorder_nodes if auto_reorder_nodes is not None else 0
+        )
+        # Allocated-and-not-freed node count (terminal included),
+        # maintained incrementally — the GC/reorder trigger metric.
+        self._n_live = 1
+        # Sifting scaffolding, live only inside sift():
+        self._ref: List[int] = []
+        self._var_nodes: List[Set[int]] = []
         self.n_vars = 0
         for _ in range(n_vars):
             self.new_var()
@@ -45,73 +149,209 @@ class BddManager:
     # -- node plumbing -----------------------------------------------------
 
     def new_var(self) -> int:
-        """Declare the next variable (level = declaration order); returns
-        the BDD for that variable."""
+        """Declare the next variable (initial level = declaration order);
+        returns the BDD for that variable."""
+        index = self.n_vars
         self.n_vars += 1
-        return self.var(self.n_vars - 1)
+        self._var2level.append(index)
+        self._level2var.append(index)
+        return self.var(index)
+
+    def _level(self, ref: int) -> int:
+        """Level of a reference's top variable (terminals sink lowest)."""
+        if ref <= TRUE:
+            return _TERMINAL_LEVEL
+        return self._var2level[self._var[ref >> 1]]
 
     def _mk(self, var: int, lo: int, hi: int) -> int:
         if lo == hi:
             return lo
+        neg = hi & 1
+        if neg:  # canonical form: then edge regular
+            lo ^= 1
+            hi ^= 1
         key = (var, lo, hi)
         node = self._unique.get(key)
         if node is None:
-            node = len(self._var)
-            self._var.append(var)
-            self._lo.append(lo)
-            self._hi.append(hi)
+            if self._free:
+                node = self._free.pop()
+                self._var[node] = var
+                self._lo[node] = lo
+                self._hi[node] = hi
+            else:
+                node = len(self._var)
+                self._var.append(var)
+                self._lo.append(lo)
+                self._hi.append(hi)
             self._unique[key] = node
-        return node
+            stats = self.stats
+            stats.n_allocated += 1
+            self._n_live += 1
+            if self._n_live > stats.peak_nodes:
+                stats.peak_nodes = self._n_live
+        return (node << 1) | neg
 
     def var(self, i: int) -> int:
-        """The BDD of variable ``i``."""
+        """The BDD of variable ``i`` (creation index, order-independent)."""
         if not 0 <= i < self.n_vars:
             raise BddError(f"variable {i} not declared (n_vars={self.n_vars})")
         return self._mk(i, FALSE, TRUE)
 
     def nvar(self, i: int) -> int:
         """The BDD of ``~variable i``."""
-        return self._mk(i, TRUE, FALSE)
+        return self.var(i) ^ 1
+
+    def cube(self, assignment: Dict[int, int]) -> int:
+        """Conjunction of literals ``{variable: 0/1}``, built directly
+        (one node per literal, no ITE traffic) — the encoding of a
+        single concrete state."""
+        for v in assignment:  # validate before the sort key dereferences
+            if not 0 <= v < self.n_vars:
+                raise BddError(f"variable {v} not declared (n_vars={self.n_vars})")
+        f = TRUE
+        for v in sorted(
+            assignment, key=lambda v: self._var2level[v], reverse=True
+        ):
+            if assignment[v]:
+                f = self._mk(v, FALSE, f)
+            else:
+                f = self._mk(v, f, FALSE)
+        return f
 
     @property
     def n_nodes(self) -> int:
-        return len(self._var)
+        """Allocated, not-yet-reclaimed nodes (terminal included).  After
+        a :meth:`collect` this is exactly the live node count."""
+        return self._n_live
+
+    def level_of(self, i: int) -> int:
+        """Current level of variable ``i`` (0 = topmost)."""
+        if not 0 <= i < self.n_vars:
+            raise BddError(f"variable {i} not declared (n_vars={self.n_vars})")
+        return self._var2level[i]
+
+    def order(self) -> List[int]:
+        """The current variable order: ``order()[level] = var``."""
+        return list(self._level2var)
 
     def top_var(self, f: int) -> int:
-        return self._var[f]
+        """Variable index at the top of ``f`` (terminals: a sentinel
+        below every real level, for loop-termination convenience)."""
+        if f <= TRUE:
+            return _TERMINAL_LEVEL
+        return self._var[f >> 1]
 
     def cofactors(self, f: int, var: int) -> Tuple[int, int]:
         """(f|var=0, f|var=1) for a variable at or above f's top level."""
-        if self._var[f] == var:
-            return self._lo[f], self._hi[f]
+        if f <= TRUE:
+            return f, f
+        node = f >> 1
+        if self._var[node] == var:
+            neg = f & 1
+            return self._lo[node] ^ neg, self._hi[node] ^ neg
         return f, f
 
-    # -- core operations -----------------------------------------------------
+    # -- the unified ITE ---------------------------------------------------
 
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: f·g + ~f·h, the universal connective."""
+        """If-then-else: f·g + ~f·h, the universal connective.
+
+        One recursive function: terminal short-circuits, standard-triple
+        normalization (regular selector, regular then branch — the
+        complement-edge canonical form doubles as the cache canonical
+        form), one packed-int cache lookup, Shannon expansion."""
+        # Terminal and absorbed-operand short-circuits.
         if f == TRUE:
             return g
         if f == FALSE:
             return h
         if g == h:
             return g
+        if f == g:
+            g = TRUE
+        elif f == (g ^ 1):
+            g = FALSE
+        if f == h:
+            h = FALSE
+        elif f == (h ^ 1):
+            h = TRUE
         if g == TRUE and h == FALSE:
             return f
-        key = ("ite", f, g, h)
-        cached = self._apply_cache.get(key)
+        if g == FALSE and h == TRUE:
+            return f ^ 1
+        if g == h:
+            return g
+        # Symmetric connectives: the topmost operand becomes the
+        # selector, maximizing cache sharing between equivalent calls.
+        var_arr = self._var
+        v2l = self._var2level
+        fl = v2l[var_arr[f >> 1]]  # f is non-terminal here
+        if g == TRUE:  # OR(f, h)
+            if h > TRUE and v2l[var_arr[h >> 1]] < fl:
+                f, h = h, f
+        elif h == FALSE:  # AND(f, g)
+            if g > TRUE and v2l[var_arr[g >> 1]] < fl:
+                f, g = g, f
+        elif h == TRUE:  # ~f + g == ite(~g, ~f, TRUE)
+            if g > TRUE and v2l[var_arr[g >> 1]] < fl:
+                f, g = g ^ 1, f ^ 1
+        elif g == FALSE:  # ~f·h == ite(~h, FALSE, ~f)
+            if h > TRUE and v2l[var_arr[h >> 1]] < fl:
+                f, h = h ^ 1, f ^ 1
+        elif h == (g ^ 1):  # XNOR/XOR are selector-symmetric
+            if g > TRUE and v2l[var_arr[g >> 1]] < fl:
+                f, g = g, f
+                h = g ^ 1
+        # Regular selector; complement pushed to the else branch / out.
+        if f & 1:
+            f ^= 1
+            g, h = h, g
+        neg = g & 1
+        if neg:
+            g ^= 1
+            h ^= 1
+        key = (((f << _SHIFT | g) << _SHIFT | h) << 3) | _OP_ITE
+        stats = self.stats
+        stats.cache_lookups += 1
+        cached = self._cache.get(key)
         if cached is not None:
-            return cached
-        var = min(self._var[f], self._var[g], self._var[h])
-        f0, f1 = self.cofactors(f, var)
-        g0, g1 = self.cofactors(g, var)
-        h0, h1 = self.cofactors(h, var)
-        result = self._mk(var, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
-        self._apply_cache[key] = result
-        return result
+            stats.cache_hits += 1
+            return cached ^ neg
+        lo_arr, hi_arr = self._lo, self._hi
+        fl = v2l[var_arr[f >> 1]]  # recompute: the swaps above moved f
+        gl = v2l[var_arr[g >> 1]] if g > TRUE else _TERMINAL_LEVEL
+        hl = v2l[var_arr[h >> 1]] if h > TRUE else _TERMINAL_LEVEL
+        level = fl
+        if gl < level:
+            level = gl
+        if hl < level:
+            level = hl
+        var = self._level2var[level]
+        if fl == level:
+            node = f >> 1
+            f0, f1 = lo_arr[node], hi_arr[node]  # f is regular here
+        else:
+            f0 = f1 = f
+        if gl == level:
+            node = g >> 1
+            g0, g1 = lo_arr[node], hi_arr[node]  # g is regular here
+        else:
+            g0 = g1 = g
+        if hl == level:
+            node = h >> 1
+            hneg = h & 1
+            h0, h1 = lo_arr[node] ^ hneg, hi_arr[node] ^ hneg
+        else:
+            h0 = h1 = h
+        lo = self.ite(f0, g0, h0)
+        hi = self.ite(f1, g1, h1)
+        result = self._mk(var, lo, hi)
+        self._cache[key] = result
+        return result ^ neg
 
     def apply_not(self, f: int) -> int:
-        return self.ite(f, FALSE, TRUE)
+        """Complement — one XOR with complement edges."""
+        return f ^ 1
 
     def apply_and(self, f: int, g: int) -> int:
         return self.ite(f, g, FALSE)
@@ -120,15 +360,15 @@ class BddManager:
         return self.ite(f, TRUE, g)
 
     def apply_xor(self, f: int, g: int) -> int:
-        return self.ite(f, self.apply_not(g), g)
+        return self.ite(f, g ^ 1, g)
 
     def apply_iff(self, f: int, g: int) -> int:
-        return self.ite(f, g, self.apply_not(g))
+        return self.ite(f, g, g ^ 1)
 
     def and_all(self, fs: Iterable[int]) -> int:
         result = TRUE
         for f in fs:
-            result = self.apply_and(result, f)
+            result = self.ite(result, f, FALSE)
             if result == FALSE:
                 break
         return result
@@ -136,186 +376,357 @@ class BddManager:
     def or_all(self, fs: Iterable[int]) -> int:
         result = FALSE
         for f in fs:
-            result = self.apply_or(result, f)
+            result = self.ite(result, TRUE, f)
             if result == TRUE:
                 break
         return result
 
     # -- quantification ------------------------------------------------------
 
-    def exists(self, f: int, variables: Sequence[int]) -> int:
-        """Existential quantification over the given variable levels."""
+    def _quant_tag(self, variables: Sequence[int]) -> Tuple[frozenset, int]:
         vset = frozenset(variables)
-        return self._exists(f, vset)
+        for v in vset:
+            if not 0 <= v < self.n_vars:
+                raise BddError(f"variable {v} not declared (n_vars={self.n_vars})")
+        tag = self._quant_tags.get(vset)
+        if tag is None:
+            tag = len(self._quant_tags)
+            self._quant_tags[vset] = tag
+        return vset, tag
 
-    def _exists(self, f: int, vset: frozenset) -> int:
+    def exists(self, f: int, variables: Sequence[int]) -> int:
+        """Existential quantification over the given variables."""
+        vset, tag = self._quant_tag(variables)
+        if not vset:
+            return f
+        max_level = max(self._var2level[v] for v in vset)
+        return self._exists(f, vset, tag, max_level)
+
+    def _exists(self, f: int, vset: frozenset, tag: int, max_level: int) -> int:
         if f <= TRUE:
             return f
-        var = self._var[f]
-        if all(v < var for v in vset):
+        node = f >> 1
+        var = self._var[node]
+        if self._var2level[var] > max_level:
             return f  # f no longer depends on any quantified variable
-        key = ("ex", f, vset)
-        cached = self._apply_cache.get(key)
+        key = (((f << _SHIFT) << _SHIFT | tag) << 3) | _OP_EXISTS
+        self.stats.cache_lookups += 1
+        cached = self._cache.get(key)
         if cached is not None:
+            self.stats.cache_hits += 1
             return cached
-        lo = self._exists(self._lo[f], vset)
-        hi = self._exists(self._hi[f], vset)
-        if var in vset:
-            result = self.apply_or(lo, hi)
+        neg = f & 1
+        lo = self._exists(self._lo[node] ^ neg, vset, tag, max_level)
+        if var in vset and lo == TRUE:
+            result = TRUE
         else:
-            result = self._mk(var, lo, hi)
-        self._apply_cache[key] = result
+            hi = self._exists(self._hi[node] ^ neg, vset, tag, max_level)
+            if var in vset:
+                result = self.ite(lo, TRUE, hi)
+            else:
+                result = self._mk(var, lo, hi)
+        self._cache[key] = result
         return result
 
     def forall(self, f: int, variables: Sequence[int]) -> int:
-        return self.apply_not(self.exists(self.apply_not(f), variables))
+        return self.exists(f ^ 1, variables) ^ 1
 
     def and_exists(self, f: int, g: int, variables: Sequence[int]) -> int:
         """The relational product  ∃ variables . f ∧ g  without building
         the full conjunction first — the workhorse of image computation."""
-        vset = frozenset(variables)
-        return self._and_exists(f, g, vset)
+        vset, tag = self._quant_tag(variables)
+        if not vset:
+            return self.ite(f, g, FALSE)
+        max_level = max(self._var2level[v] for v in vset)
+        return self._and_exists(f, g, vset, tag, max_level)
 
-    def _and_exists(self, f: int, g: int, vset: frozenset) -> int:
-        if f == FALSE or g == FALSE:
+    def _and_exists(
+        self, f: int, g: int, vset: frozenset, tag: int, max_level: int
+    ) -> int:
+        if f == FALSE or g == FALSE or f == (g ^ 1):
             return FALSE
         if f == TRUE and g == TRUE:
             return TRUE
         if f == TRUE:
-            return self._exists(g, vset)
-        if g == TRUE:
-            return self._exists(f, vset)
-        key = ("ae", f, g, vset)
-        cached = self._apply_cache.get(key)
+            return self._exists(g, vset, tag, max_level)
+        if g == TRUE or f == g:
+            return self._exists(f, vset, tag, max_level)
+        if f > g:
+            f, g = g, f  # the product is commutative; canonicalize the key
+        var_arr = self._var
+        v2l = self._var2level
+        fl = v2l[var_arr[f >> 1]] if f > TRUE else _TERMINAL_LEVEL
+        gl = v2l[var_arr[g >> 1]] if g > TRUE else _TERMINAL_LEVEL
+        if fl > max_level and gl > max_level:
+            return self.ite(f, g, FALSE)  # below every quantified level
+        key = (((f << _SHIFT | g) << _SHIFT | tag) << 3) | _OP_AND_EXISTS
+        self.stats.cache_lookups += 1
+        cached = self._cache.get(key)
         if cached is not None:
+            self.stats.cache_hits += 1
             return cached
-        var = min(self._var[f], self._var[g])
-        f0, f1 = self.cofactors(f, var)
-        g0, g1 = self.cofactors(g, var)
-        lo = self._and_exists(f0, g0, vset)
+        level = fl if fl < gl else gl
+        var = self._level2var[level]
+        lo_arr, hi_arr = self._lo, self._hi
+        if fl == level:
+            node = f >> 1
+            fneg = f & 1
+            f0, f1 = lo_arr[node] ^ fneg, hi_arr[node] ^ fneg
+        else:
+            f0 = f1 = f
+        if gl == level:
+            node = g >> 1
+            gneg = g & 1
+            g0, g1 = lo_arr[node] ^ gneg, hi_arr[node] ^ gneg
+        else:
+            g0 = g1 = g
+        lo = self._and_exists(f0, g0, vset, tag, max_level)
         if var in vset:
             # Early termination: lo OR hi, and lo == TRUE short-circuits.
             if lo == TRUE:
                 result = TRUE
             else:
-                hi = self._and_exists(f1, g1, vset)
-                result = self.apply_or(lo, hi)
+                hi = self._and_exists(f1, g1, vset, tag, max_level)
+                result = self.ite(lo, TRUE, hi)
         else:
-            hi = self._and_exists(f1, g1, vset)
+            hi = self._and_exists(f1, g1, vset, tag, max_level)
             result = self._mk(var, lo, hi)
-        self._apply_cache[key] = result
+        self._cache[key] = result
         return result
 
     # -- substitution ----------------------------------------------------------
 
     def rename(self, f: int, mapping: Dict[int, int]) -> int:
-        """Rename variables by level map; the map must preserve relative
-        order (e.g. next-state level 2i+1 -> current level 2i)."""
-        items = sorted(mapping.items())
-        for (a1, b1), (a2, b2) in zip(items, items[1:]):
-            if not (a1 < a2 and b1 < b2):
-                raise BddError("rename mapping must be order-preserving")
-        key = ("rn", f, tuple(items))
-        return self._rename(f, dict(mapping), key[2])
+        """Rename variables by an arbitrary injective map ``{old: new}``.
 
-    def _rename(self, f: int, mapping: Dict[int, int], tag) -> int:
+        Implemented as a simultaneous substitution pass: each mapped
+        variable is replaced by its target via ``ite`` on the way back
+        up, so the map need *not* preserve the variable order (swaps and
+        inversions are fine).  Two error cases are rejected:
+
+        * a non-injective map (two variables renamed to one target),
+        * a capturing map — a target that is also an unmapped variable
+          of ``f``'s support would silently merge two variables.
+        """
+        mapping = {a: b for a, b in mapping.items() if a != b}
+        if not mapping:
+            return f
+        for v in list(mapping) + list(mapping.values()):
+            if not 0 <= v < self.n_vars:
+                raise BddError(f"variable {v} not declared (n_vars={self.n_vars})")
+        targets = set(mapping.values())
+        if len(targets) != len(mapping):
+            raise BddError(f"rename mapping is not injective: {mapping}")
+        # Capture — a target that is also an unmapped support variable —
+        # is detected on the fly during the recursion (no support walk).
+        capture_set = targets - set(mapping)
+        items = tuple(sorted(mapping.items()))
+        tag = self._subst_tags.get(items)
+        if tag is None:
+            tag = len(self._subst_tags)
+            self._subst_tags[items] = tag
+        # Deep enough to reach every mapped variable *and* every
+        # potential capture (targets sit at their own levels).
+        max_level = max(
+            max(self._var2level[v] for v in mapping),
+            max(self._var2level[v] for v in targets),
+        )
+        return self._rename(f, mapping, capture_set, tag, max_level)
+
+    def _rename(
+        self,
+        f: int,
+        mapping: Dict[int, int],
+        capture_set: set,
+        tag: int,
+        max_level: int,
+    ) -> int:
         if f <= TRUE:
             return f
-        key = ("rn", f, tag)
-        cached = self._apply_cache.get(key)
+        node = f >> 1
+        var = self._var[node]
+        if self._var2level[var] > max_level:
+            return f  # below every renamed variable
+        neg = f & 1
+        key = (((f << _SHIFT) << _SHIFT | tag) << 3) | _OP_RENAME
+        self.stats.cache_lookups += 1
+        cached = self._cache.get(key)
         if cached is not None:
-            return cached
-        var = self._var[f]
-        nvar = mapping.get(var, var)
-        result = self._mk(
-            nvar,
-            self._rename(self._lo[f], mapping, tag),
-            self._rename(self._hi[f], mapping, tag),
-        )
-        self._apply_cache[key] = result
-        return result
+            self.stats.cache_hits += 1
+            return cached ^ neg
+        target = mapping.get(var)
+        if target is None and var in capture_set:
+            raise BddError(
+                f"rename mapping captures unmapped support variable "
+                f"{var}: {mapping}"
+            )
+        lo = self._rename(self._lo[node], mapping, capture_set, tag, max_level)
+        hi = self._rename(self._hi[node], mapping, capture_set, tag, max_level)
+        if target is None:
+            # An unmapped variable may no longer sit above its rebuilt
+            # children (a deeper variable can be renamed to a level
+            # above this one): _mk only when the order still holds,
+            # full ITE re-insertion otherwise.
+            vl = self._var2level[var]
+            if (
+                lo <= TRUE or self._var2level[self._var[lo >> 1]] > vl
+            ) and (hi <= TRUE or self._var2level[self._var[hi >> 1]] > vl):
+                result = self._mk(var, lo, hi)
+            else:
+                result = self.ite(self.var(var), hi, lo)
+        else:
+            result = self.ite(self.var(target), hi, lo)
+        self._cache[key] = result
+        return result ^ neg
 
     def restrict(self, f: int, assignments: Dict[int, int]) -> int:
-        """Cofactor f by {variable level: 0/1}."""
+        """Cofactor f by ``{variable: 0/1}``."""
         if f <= TRUE or not assignments:
             return f
-        key = ("rs", f, tuple(sorted(assignments.items())))
-        cached = self._apply_cache.get(key)
+        items = tuple(sorted(assignments.items()))
+        tag = self._subst_tags.get(items)
+        if tag is None:
+            tag = len(self._subst_tags)
+            self._subst_tags[items] = tag
+        max_level = max(self._var2level[v] for v in assignments)
+        return self._restrict(f, assignments, tag, max_level)
+
+    def _restrict(
+        self, f: int, assignments: Dict[int, int], tag: int, max_level: int
+    ) -> int:
+        if f <= TRUE:
+            return f
+        node = f >> 1
+        var = self._var[node]
+        if self._var2level[var] > max_level:
+            return f
+        neg = f & 1
+        key = (((f << _SHIFT) << _SHIFT | tag) << 3) | _OP_RESTRICT
+        self.stats.cache_lookups += 1
+        cached = self._cache.get(key)
         if cached is not None:
-            return cached
-        var = self._var[f]
+            self.stats.cache_hits += 1
+            return cached ^ neg
         fixed = assignments.get(var)
         if fixed is not None:
-            branch = self._hi[f] if fixed else self._lo[f]
-            result = self.restrict(branch, assignments)
+            branch = self._hi[node] if fixed else self._lo[node]
+            result = self._restrict(branch, assignments, tag, max_level)
         else:
-            lo = self.restrict(self._lo[f], assignments)
-            hi = self.restrict(self._hi[f], assignments)
+            lo = self._restrict(self._lo[node], assignments, tag, max_level)
+            hi = self._restrict(self._hi[node], assignments, tag, max_level)
             result = self._mk(var, lo, hi)
-        self._apply_cache[key] = result
-        return result
+        self._cache[key] = result
+        return result ^ neg
+
+    def flip_var(self, f: int, v: int) -> int:
+        """Substitute ``v <- ~v``: swap the cofactors at variable ``v``.
+
+        This is the fully-quantified image of a one-signal toggle — the
+        per-gate transition step of the partitioned symbolic traversal —
+        at the cost of one linear pass over the nodes above ``v``.
+        """
+        if not 0 <= v < self.n_vars:
+            raise BddError(f"variable {v} not declared (n_vars={self.n_vars})")
+        return self._flip(f, v, self._var2level[v])
+
+    def _flip(self, f: int, v: int, v_level: int) -> int:
+        if f <= TRUE:
+            return f
+        node = f >> 1
+        var = self._var[node]
+        if self._var2level[var] > v_level:
+            return f  # f does not depend on v
+        neg = f & 1
+        if var == v:
+            return self._mk(v, self._hi[node], self._lo[node]) ^ neg
+        key = (((f << _SHIFT) << _SHIFT | v) << 3) | _OP_FLIP
+        self.stats.cache_lookups += 1
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached ^ neg
+        lo = self._flip(self._lo[node], v, v_level)
+        hi = self._flip(self._hi[node], v, v_level)
+        result = self._mk(var, lo, hi)
+        self._cache[key] = result
+        return result ^ neg
 
     # -- model queries -----------------------------------------------------------
 
     def eval(self, f: int, assignment: Sequence[int]) -> int:
-        """Evaluate under a full assignment (index = variable level)."""
+        """Evaluate under a full assignment (index = variable index)."""
+        neg = f & 1
         while f > TRUE:
-            f = self._hi[f] if assignment[self._var[f]] else self._lo[f]
-        return f
+            node = f >> 1
+            f = self._hi[node] if assignment[self._var[node]] else self._lo[node]
+            neg ^= f & 1
+        return neg  # f is terminal; neg accumulated every complement edge
 
     def sat_count(self, f: int, over: Optional[Sequence[int]] = None) -> int:
         """Number of satisfying assignments over the given variable set
         (default: all declared variables)."""
-        variables = sorted(over) if over is not None else list(range(self.n_vars))
+        variables = list(over) if over is not None else list(range(self.n_vars))
+        variables.sort(key=lambda v: self._var2level[v])
         vpos = {v: i for i, v in enumerate(variables)}
-
+        n = len(variables)
         cache: Dict[int, int] = {}
 
-        def count(node: int, depth: int) -> int:
-            # depth = index into `variables` we are currently at
-            if node == FALSE:
+        def count(ref: int, depth: int) -> int:
+            # depth = index into `variables` the caller has consumed
+            if ref == FALSE:
                 return 0
-            if node == TRUE:
-                return 1 << (len(variables) - depth)
+            if ref == TRUE:
+                return 1 << (n - depth)
+            node = ref >> 1
             var = self._var[node]
-            if var not in vpos:
+            pos = vpos.get(var)
+            if pos is None:
                 raise BddError("sat_count: function depends on excluded variable")
-            key = node
-            cached = cache.get(key)
-            if cached is None:
-                below = count(self._lo[node], vpos[var] + 1) + count(
-                    self._hi[node], vpos[var] + 1
+            below = cache.get(node)
+            if below is None:
+                below = count(self._lo[node], pos + 1) + count(
+                    self._hi[node], pos + 1
                 )
-                cache[key] = below
-            else:
-                below = cached
-            return below << (vpos[var] - depth)
+                cache[node] = below
+            if ref & 1:
+                below = (1 << (n - pos)) - below
+            return below << (pos - depth)
 
         return count(f, 0)
 
     def sat_iter(self, f: int, over: Optional[Sequence[int]] = None) -> Iterator[Dict[int, int]]:
-        """Yield satisfying assignments as {variable level: value} dicts,
+        """Yield satisfying assignments as ``{variable: value}`` dicts,
         enumerating excluded-variable freedom over ``over``."""
-        variables = sorted(over) if over is not None else list(range(self.n_vars))
+        variables = list(over) if over is not None else list(range(self.n_vars))
+        variables.sort(key=lambda v: self._var2level[v])
 
-        def rec(node: int, idx: int, partial: Dict[int, int]):
-            if node == FALSE:
+        def rec(ref: int, idx: int, partial: Dict[int, int]):
+            if ref == FALSE:
                 return
             if idx == len(variables):
-                if node == TRUE:
+                if ref == TRUE:
                     yield dict(partial)
-                return
+                    return
+                # Mirror sat_count: an error, not a silent empty yield.
+                raise BddError("sat_iter: function depends on excluded variable")
             var = variables[idx]
-            top = self._var[node]
-            if top == var:
-                for value, child in ((0, self._lo[node]), (1, self._hi[node])):
-                    partial[var] = value
-                    yield from rec(child, idx + 1, partial)
-                del partial[var]
-            elif top > var:
+            if ref == TRUE:
+                top_level = _TERMINAL_LEVEL
+            else:
+                top_level = self._var2level[self._var[ref >> 1]]
+            var_level = self._var2level[var]
+            if top_level == var_level:
+                node = ref >> 1
+                neg = ref & 1
+                children = (self._lo[node] ^ neg, self._hi[node] ^ neg)
                 for value in (0, 1):
                     partial[var] = value
-                    yield from rec(node, idx + 1, partial)
+                    yield from rec(children[value], idx + 1, partial)
+                del partial[var]
+            elif top_level > var_level:
+                for value in (0, 1):
+                    partial[var] = value
+                    yield from rec(ref, idx + 1, partial)
                 del partial[var]
             else:
                 raise BddError("sat_iter: node above enumeration set")
@@ -323,29 +734,261 @@ class BddManager:
         yield from rec(f, 0, {})
 
     def support(self, f: int) -> List[int]:
-        """Variable levels f depends on."""
+        """Variable indices f depends on."""
         seen = set()
         out = set()
-        stack = [f]
+        stack = [f >> 1]
         while stack:
             node = stack.pop()
-            if node <= TRUE or node in seen:
+            if node == 0 or node in seen:
                 continue
             seen.add(node)
             out.add(self._var[node])
-            stack.append(self._lo[node])
-            stack.append(self._hi[node])
+            stack.append(self._lo[node] >> 1)
+            stack.append(self._hi[node] >> 1)
         return sorted(out)
 
     def size(self, f: int) -> int:
-        """Number of distinct nodes in f (terminals excluded)."""
-        seen = set()
-        stack = [f]
+        """Number of distinct nodes in f (terminal excluded)."""
+        return self.shared_size([f])
+
+    def shared_size(self, roots: Sequence[int]) -> int:
+        """Distinct internal nodes shared across ``roots``."""
+        seen: Set[int] = set()
+        stack = [r >> 1 for r in roots]
         while stack:
             node = stack.pop()
-            if node <= TRUE or node in seen:
+            if node == 0 or node in seen:
                 continue
             seen.add(node)
-            stack.append(self._lo[node])
-            stack.append(self._hi[node])
+            stack.append(self._lo[node] >> 1)
+            stack.append(self._hi[node] >> 1)
         return len(seen)
+
+    # -- roots and garbage collection -------------------------------------
+
+    def add_root(self, ref: int) -> int:
+        """Register ``ref`` as a GC/reorder root; returns ``ref``.
+        Balanced by :meth:`remove_root` (a ref may be registered more
+        than once; it stays a root until every registration is removed)."""
+        self._roots[ref] = self._roots.get(ref, 0) + 1
+        return ref
+
+    def remove_root(self, ref: int) -> None:
+        count = self._roots.get(ref)
+        if count is None:
+            raise BddError(f"ref {ref} is not a registered root")
+        if count == 1:
+            del self._roots[ref]
+        else:
+            self._roots[ref] = count - 1
+
+    def roots(self) -> List[int]:
+        return list(self._roots)
+
+    def collect(self, roots: Iterable[int] = ()) -> int:
+        """Mark-and-sweep: free every node not reachable from the
+        registered roots plus ``roots``; returns the number freed.
+
+        The operation cache is invalidated (freed ids may be re-used by
+        later allocations), but surviving node ids do not move — any
+        reference whose function was marked stays valid.
+        """
+        live: Set[int] = set()
+        stack = [r >> 1 for r in self._roots]
+        stack.extend(r >> 1 for r in roots)
+        while stack:
+            node = stack.pop()
+            if node == 0 or node in live:
+                continue
+            live.add(node)
+            stack.append(self._lo[node] >> 1)
+            stack.append(self._hi[node] >> 1)
+        already_free = set(self._free)
+        freed = 0
+        for node in range(1, len(self._var)):
+            if node in live or node in already_free:
+                continue
+            del self._unique[(self._var[node], self._lo[node], self._hi[node])]
+            self._var[node] = -1
+            self._free.append(node)
+            freed += 1
+        self._cache.clear()
+        self._n_live -= freed
+        self.stats.n_freed += freed
+        self.stats.n_gc_passes += 1
+        return freed
+
+    def checkpoint(self) -> None:
+        """Housekeeping safe point for long computations.
+
+        If the configured thresholds are crossed, garbage-collect and/or
+        sift against the registered roots.  Callers must register (or
+        have already registered) every reference they intend to use
+        afterwards — anything unreachable from the roots is reclaimed.
+        """
+        n = self.n_nodes
+        if self.auto_reorder_nodes is not None and n >= self._next_reorder:
+            self.sift()
+            self._next_reorder = max(self.auto_reorder_nodes, 2 * self.n_nodes)
+            return
+        if self.auto_gc_nodes is not None and n >= self._next_gc:
+            self.collect()
+            self._next_gc = max(self.auto_gc_nodes, 2 * self.n_nodes)
+
+    # -- in-place sifting --------------------------------------------------
+
+    def sift(
+        self,
+        roots: Iterable[int] = (),
+        max_growth: float = 2.0,
+    ) -> int:
+        """Rudell sifting, in place: returns the live node count after.
+
+        Each variable in turn (largest level population first) is moved
+        through every level by adjacent swaps and left at its best
+        position.  Node ids are preserved — live references denote the
+        same functions afterwards.  Starts with a :meth:`collect`
+        against the registered roots plus ``roots``, so the size metric
+        counts live nodes only.  ``max_growth`` bounds how far past the
+        best-seen size a variable may be dragged before the walk in
+        that direction is abandoned.
+        """
+        roots = list(roots)
+        self.collect(roots)
+        n_levels = self.n_vars
+        if n_levels < 2:
+            return self.n_nodes
+        # Scaffolding: per-node reference counts (internal edges + one
+        # per root registration) and per-variable node populations.
+        self._ref = [0] * len(self._var)
+        self._var_nodes = [set() for _ in range(self.n_vars)]
+        free = set(self._free)
+        for node in range(1, len(self._var)):
+            if node in free:
+                continue
+            self._var_nodes[self._var[node]].add(node)
+            self._ref[self._lo[node] >> 1] += 1
+            self._ref[self._hi[node] >> 1] += 1
+        for ref in list(self._roots) + roots:
+            self._ref[ref >> 1] += 1
+        by_population = sorted(
+            range(self.n_vars),
+            key=lambda v: (-len(self._var_nodes[v]), v),
+        )
+        for v in by_population:
+            self._sift_one(v, max_growth)
+        self._ref = []
+        self._var_nodes = []
+        self.stats.n_reorders += 1
+        return self.n_nodes
+
+    def _sift_one(self, v: int, max_growth: float) -> None:
+        n_levels = self.n_vars
+        start = self._var2level[v]
+        best_size = self._n_live
+        best_level = start
+        limit = int(best_size * max_growth) + 2
+        # Walk down to the bottom...
+        level = start
+        while level < n_levels - 1:
+            self._swap_levels(level)
+            level += 1
+            if self._n_live < best_size:
+                best_size = self._n_live
+                best_level = level
+                limit = int(best_size * max_growth) + 2
+            elif self._n_live > limit:
+                break
+        # ...then up to the top...
+        while level > 0:
+            self._swap_levels(level - 1)
+            level -= 1
+            if self._n_live < best_size:
+                best_size = self._n_live
+                best_level = level
+                limit = int(best_size * max_growth) + 2
+            elif self._n_live > limit:
+                break
+        # ...and settle at the best position seen.
+        while level < best_level:
+            self._swap_levels(level)
+            level += 1
+        while level > best_level:
+            self._swap_levels(level - 1)
+            level -= 1
+
+    def _swap_levels(self, level: int) -> None:
+        """Swap the variables at ``level`` and ``level + 1`` in place."""
+        x = self._level2var[level]
+        y = self._level2var[level + 1]
+        var, lo_arr, hi_arr = self._var, self._lo, self._hi
+        for n in list(self._var_nodes[x]):
+            lo, hi = lo_arr[n], hi_arr[n]
+            lo_node, hi_node = lo >> 1, hi >> 1
+            if var[lo_node] != y and var[hi_node] != y:
+                continue  # independent of y: the node just changes level
+            if var[lo_node] == y:
+                e_neg = lo & 1
+                e0, e1 = lo_arr[lo_node] ^ e_neg, hi_arr[lo_node] ^ e_neg
+            else:
+                e0 = e1 = lo
+            if var[hi_node] == y:
+                # hi is a regular edge (canonical form), so no ^ neg.
+                t0, t1 = lo_arr[hi_node], hi_arr[hi_node]
+            else:
+                t0 = t1 = hi
+            new_lo = self._mk_counted(x, e0, t0)
+            new_hi = self._mk_counted(x, e1, t1)
+            # t1 is regular (cofactor of a regular then edge), so new_hi
+            # is regular and the rewritten node needs no complement.
+            del self._unique[(x, lo, hi)]
+            var[n] = y
+            lo_arr[n] = new_lo
+            hi_arr[n] = new_hi
+            self._unique[(y, new_lo, new_hi)] = n
+            self._var_nodes[x].discard(n)
+            self._var_nodes[y].add(n)
+            self._ref[new_lo >> 1] += 1
+            self._ref[new_hi >> 1] += 1
+            self._drop_ref(lo_node)
+            self._drop_ref(hi_node)
+        self._level2var[level], self._level2var[level + 1] = y, x
+        self._var2level[x] = level + 1
+        self._var2level[y] = level
+
+    def _mk_counted(self, var: int, lo: int, hi: int) -> int:
+        """``_mk`` with sifting bookkeeping: newly allocated nodes join
+        the per-variable population and count their child references."""
+        before = self._n_live
+        ref = self._mk(var, lo, hi)
+        if self._n_live != before:
+            node = ref >> 1
+            if node >= len(self._ref):
+                # The free list ran dry and _mk appended fresh slots:
+                # grow the sifting scaffolding to match.
+                self._ref.extend([0] * (node + 1 - len(self._ref)))
+            self._var_nodes[var].add(node)
+            self._ref[node] = 0  # the caller links it
+            self._ref[self._lo[node] >> 1] += 1
+            self._ref[self._hi[node] >> 1] += 1
+        return ref
+
+    def _drop_ref(self, node: int) -> None:
+        """Decrement a node's reference count during sifting; reclaim it
+        (recursively) when it reaches zero."""
+        if node == 0:
+            return
+        self._ref[node] -= 1
+        if self._ref[node] > 0:
+            return
+        v = self._var[node]
+        del self._unique[(v, self._lo[node], self._hi[node])]
+        self._var_nodes[v].discard(node)
+        lo_node, hi_node = self._lo[node] >> 1, self._hi[node] >> 1
+        self._var[node] = -1
+        self._free.append(node)
+        self._n_live -= 1
+        self.stats.n_freed += 1
+        self._drop_ref(lo_node)
+        self._drop_ref(hi_node)

@@ -1,28 +1,27 @@
 """Variable-ordering exploration for the BDD engine.
 
 The paper's §6 lists "studying better variable ordering strategies in
-the use of BDDs" as the first way to speed up its symbolic step.  This
-module provides the substrate:
+the use of BDDs" as the first way to speed up its symbolic step.  The
+production path is :meth:`repro.bdd.manager.BddManager.sift` — in-place
+Rudell sifting, triggered automatically by node-count growth when the
+manager is configured with ``auto_reorder_nodes`` (the symbolic CSSG
+builder does this).  This module keeps the *offline* utilities on top
+of it:
 
 * :func:`copy_with_order` — rebuild functions in a fresh manager under
-  an arbitrary variable permutation (the manager itself is hash-consed
-  and immutable, so reordering is a functional rebuild rather than the
-  classic in-place level swap);
+  an arbitrary explicit variable permutation;
 * :func:`total_size` — the shared-node count of a set of functions, the
   quantity orderings try to minimize;
-* :func:`sift_order` — a greedy sifting search: each variable in turn is
-  tried at every position and left where the rebuilt size is smallest.
-
-For the circuit sizes in this reproduction a full rebuild per trial is
-entirely affordable, and the code stays independent of manager
-internals.
+* :func:`sift_order` — search for a good order by running the in-place
+  sifter on a scratch copy, leaving the source manager untouched;
+  returns the discovered order so it can be applied, logged or compared.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.manager import TRUE, BddManager
 from repro.errors import BddError
 
 
@@ -35,18 +34,18 @@ def copy_with_order(
         raise BddError("order must be a permutation of all variables")
     position = {old: new for new, old in enumerate(order)}
     dst = BddManager(src.n_vars)
-    cache: Dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+    cache: Dict[int, int] = {}
 
-    def rebuild(node: int) -> int:
-        cached = cache.get(node)
+    def rebuild(ref: int) -> int:
+        if ref <= TRUE:
+            return ref
+        cached = cache.get(ref)
         if cached is not None:
             return cached
-        var = src.top_var(node)
-        lo = rebuild(src._lo[node])  # noqa: SLF001 — engine-internal walk
-        hi = rebuild(src._hi[node])  # noqa: SLF001
-        new_var = dst.var(position[var])
-        result = dst.ite(new_var, hi, lo)
-        cache[node] = result
+        var = src.top_var(ref)
+        lo, hi = src.cofactors(ref, var)
+        result = dst.ite(dst.var(position[var]), rebuild(hi), rebuild(lo))
+        cache[ref] = result
         return result
 
     return dst, [rebuild(r) for r in roots]
@@ -54,53 +53,19 @@ def copy_with_order(
 
 def total_size(mgr: BddManager, roots: Sequence[int]) -> int:
     """Distinct internal nodes shared across ``roots``."""
-    seen = set()
-    stack = list(roots)
-    while stack:
-        node = stack.pop()
-        if node <= TRUE or node in seen:
-            continue
-        seen.add(node)
-        stack.append(mgr._lo[node])  # noqa: SLF001
-        stack.append(mgr._hi[node])  # noqa: SLF001
-    return len(seen)
+    return mgr.shared_size(roots)
 
 
 def sift_order(
-    src: BddManager, roots: Sequence[int], max_rounds: int = 2
+    src: BddManager, roots: Sequence[int], max_growth: float = 2.0
 ) -> Tuple[List[int], int]:
-    """Greedy sifting: returns (best order, best size).
+    """Sifting search on a scratch copy: returns (best order, best size).
 
-    Starting from the identity order, each variable is tentatively moved
-    to every position; the best placement is kept.  ``max_rounds`` full
-    passes bound the work (sifting converges quickly in practice).
+    ``src`` is left untouched; the returned order maps level → variable
+    of ``src`` and can be applied with :func:`copy_with_order` (or used
+    to seed a fresh manager).  The search itself is the manager's
+    in-place :meth:`~repro.bdd.manager.BddManager.sift`.
     """
-    order = list(range(src.n_vars))
-    best_size = _size_for(src, roots, order)
-    for _ in range(max_rounds):
-        improved = False
-        for var in list(order):
-            current_pos = order.index(var)
-            best_pos = current_pos
-            for pos in range(len(order)):
-                if pos == current_pos:
-                    continue
-                trial = list(order)
-                trial.pop(current_pos)
-                trial.insert(pos, var)
-                size = _size_for(src, roots, trial)
-                if size < best_size:
-                    best_size = size
-                    best_pos = pos
-            if best_pos != current_pos:
-                order.pop(current_pos)
-                order.insert(best_pos, var)
-                improved = True
-        if not improved:
-            break
-    return order, best_size
-
-
-def _size_for(src: BddManager, roots: Sequence[int], order: Sequence[int]) -> int:
-    dst, rebuilt = copy_with_order(src, roots, order)
-    return total_size(dst, rebuilt)
+    scratch, copies = copy_with_order(src, roots, list(range(src.n_vars)))
+    scratch.sift(roots=copies, max_growth=max_growth)
+    return scratch.order(), scratch.shared_size(copies)

@@ -40,6 +40,7 @@ def row_from_payloads(
     (either may be absent when the campaign ran a single model).  The
     stored ``n_total`` / ``n_covered`` fields are authoritative — the
     coverage arithmetic lives in :class:`AtpgResult`, not here."""
+    cssg = (in_payload or out_payload or {}).get("cssg", {})
     return TableRow(
         name=name,
         out_tot=out_payload["n_total"] if out_payload else 0,
@@ -51,13 +52,22 @@ def row_from_payloads(
         sim=in_payload["n_fault_sim"] if in_payload else 0,
         cpu=(out_payload["cpu_seconds"] if out_payload else 0.0)
         + (in_payload["cpu_seconds"] if in_payload else 0.0),
+        cssg_method=cssg.get("method", ""),
+        cssg_states=cssg.get("n_states", 0),
+        cssg_edges=cssg.get("n_edges", 0),
+        tcsg_states=cssg.get("n_tcsg_states", 0),
+        peak_bdd_nodes=cssg.get("peak_bdd_nodes", 0),
+        gc_passes=cssg.get("n_gc_passes", 0),
+        reorders=cssg.get("n_reorders", 0),
+        image_iters=cssg.get("n_image_iterations", 0),
     )
 
 
 def rows_from_outcomes(outcomes: Sequence[JobOutcome]) -> List[TableRow]:
     """Aggregate job outcomes into table rows, one per circuit variant
-    (source x style x seed x k), in first-seen order.  Jobs that failed
-    contribute nothing; a variant with no successful job is dropped."""
+    (source x style x seed x k x CSSG method), in first-seen order.
+    Jobs that failed contribute nothing; a variant with no successful
+    job is dropped."""
     variants: Dict[Tuple, Dict[str, Dict]] = {}
     names: Dict[Tuple, str] = {}
     order: List[Tuple] = []
@@ -65,7 +75,9 @@ def rows_from_outcomes(outcomes: Sequence[JobOutcome]) -> List[TableRow]:
         if not outcome.ok or outcome.payload is None:
             continue
         job = outcome.job
-        variant = (job.source, job.style, job.seed, job.k)
+        variant = (
+            job.source, job.style, job.seed, job.k, job.options.cssg_method
+        )
         if variant not in variants:
             variants[variant] = {}
             names[variant] = _row_name(outcome)
@@ -94,6 +106,7 @@ def campaign_manifest(
             "fault_model": outcome.job.fault_model,
             "seed": outcome.job.seed,
             "k": outcome.job.k,
+            "cssg_method": outcome.job.options.cssg_method,
             "status": outcome.status,
             "seconds": outcome.seconds,
             "error": outcome.error,

@@ -37,7 +37,9 @@ from repro.flow import DEFAULT_STAGE_NAMES
 
 #: Bump on any change to synthesis / CSSG / ATPG that alters results.
 #: Part of every job key, so a bump invalidates the whole cache at once.
-CODE_VERSION = "1"
+#: "2": the symbolic-kernel rewrite — ``cssg_method="auto"`` now
+#: resolves to "symbolic" (not "ternary") above the exact limit.
+CODE_VERSION = "2"
 
 
 @dataclass(frozen=True)
@@ -75,6 +77,10 @@ class CampaignSpec:
     fault_models: Sequence[str] = ("output", "input")
     seeds: Sequence[int] = (0,)
     ks: Sequence[Optional[int]] = (None,)
+    #: CSSG construction methods to cross (``None`` = inherit the
+    #: template's ``options.cssg_method``); a real axis like the others,
+    #: so one campaign can compare e.g. hybrid vs symbolic runs.
+    cssg_methods: Sequence[Optional[str]] = (None,)
     options: AtpgOptions = field(default_factory=AtpgOptions)
 
     @staticmethod
@@ -107,6 +113,7 @@ class CampaignSpec:
             "fault_models": list(self.fault_models),
             "seeds": list(self.seeds),
             "ks": list(self.ks),
+            "cssg_methods": list(self.cssg_methods),
             "options": self.options.to_json_dict(),
         }
 
@@ -164,13 +171,21 @@ def job_key(
 
 
 def _display_name(
-    base: str, style: str, model: str, seed: int, k: Optional[int], spec: CampaignSpec
+    base: str,
+    style: str,
+    model: str,
+    seed: int,
+    k: Optional[int],
+    method: Optional[str],
+    spec: CampaignSpec,
 ) -> str:
     name = f"{base}[{style}]/{model}"
     if len(spec.seeds) > 1:
         name += f"/s{seed}"
     if len(spec.ks) > 1 or k is not None:
         name += f"/k{k}"
+    if len(spec.cssg_methods) > 1:
+        name += f"/{method or spec.options.cssg_method}"
     return name
 
 
@@ -194,25 +209,36 @@ def expand(spec: CampaignSpec) -> List[Job]:
             group = f"{source}|{style}"
             for k in spec.ks:
                 for seed in spec.seeds:
-                    for model in spec.fault_models:
-                        options = replace(
-                            spec.options, fault_model=model, seed=seed, k=k
-                        )
-                        key = job_key(fingerprint, style, options)
-                        if key in seen:
-                            continue  # identical axes collapse to one job
-                        job = Job(
-                            name=_display_name(base, style, model, seed, k, spec),
-                            source_kind=source_kind,
-                            source=source,
-                            style=style,
-                            seed=seed,
-                            k=k,
-                            options=options,
-                            key=key,
-                            group=group,
-                            cost_hint=cost_hint,
-                        )
-                        seen[key] = job
-                        jobs.append(job)
+                    for method in spec.cssg_methods:
+                        for model in spec.fault_models:
+                            options = replace(
+                                spec.options,
+                                fault_model=model,
+                                seed=seed,
+                                k=k,
+                                cssg_method=(
+                                    method
+                                    if method is not None
+                                    else spec.options.cssg_method
+                                ),
+                            )
+                            key = job_key(fingerprint, style, options)
+                            if key in seen:
+                                continue  # identical axes collapse to one job
+                            job = Job(
+                                name=_display_name(
+                                    base, style, model, seed, k, method, spec
+                                ),
+                                source_kind=source_kind,
+                                source=source,
+                                style=style,
+                                seed=seed,
+                                k=k,
+                                options=options,
+                                key=key,
+                                group=group,
+                                cost_hint=cost_hint,
+                            )
+                            seen[key] = job
+                            jobs.append(job)
     return jobs

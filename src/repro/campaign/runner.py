@@ -43,6 +43,7 @@ from repro.core.atpg import (
     RESULT_SCHEMA_VERSION,
     AtpgResult,
     cssg_for,
+    resolve_cssg_method,
 )
 from repro.errors import ReproError
 from repro.flow import Flow, Heartbeat
@@ -162,12 +163,13 @@ def execute_job(
     opts = job.options
     cssg = None
     if cssg_memo is not None:
+        # Key on the *resolved* method so e.g. "auto" and the method it
+        # resolves to for this circuit share one construction.
         memo_key = (
             job.group,
             opts.k,
             opts.max_input_changes,
-            opts.cssg_method,
-            opts.auto_exact_limit,
+            resolve_cssg_method(circuit, opts),
         )
         cssg = cssg_memo.get(memo_key)
         if cssg is None:
@@ -188,7 +190,8 @@ def execute_job(
                     StageFinished(
                         "cssg",
                         time.perf_counter() - t0,
-                        f"{cssg.n_states} states / {cssg.n_edges} edges",
+                        f"{cssg.n_states} states / {cssg.n_edges} edges "
+                        f"[{cssg.method}]",
                     )
                 )
     return Flow.default().run(circuit, opts, cssg=cssg, listeners=listeners)

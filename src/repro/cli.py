@@ -5,6 +5,7 @@ Examples::
     repro-atpg --list                    # show bundled benchmarks
     repro-atpg ebergen                   # ATPG on a bundled benchmark
     repro-atpg ebergen --style two-level --model output
+    repro-atpg ebergen --cssg-method symbolic   # BDD-based construction
     repro-atpg path/to/circuit.net --show-tests
     repro-atpg converta --json           # one result as a JSON object
     repro-atpg vbe6a --progress          # live stage/coverage line
@@ -15,6 +16,7 @@ Examples::
     repro-campaign                       # Table 1 corpus, all cores
     repro-campaign --table2 --workers 4 --out out/table2
     repro-campaign dff chu150 --seeds 0,1,2 --no-cache
+    repro-campaign dff --cssg-method hybrid,symbolic   # method axis
     repro-atpg --campaign --table2       # alias for repro-campaign
 
 ``python -m repro.cli`` behaves like ``repro-atpg``.
@@ -32,6 +34,14 @@ from repro.circuit.parser import load_netlist
 from repro.core.atpg import AtpgOptions
 from repro.errors import ReproError
 from repro.flow import Flow, ProgressLine, TraceWriter
+from repro.sgraph.cssg import CSSG_METHODS
+
+
+def _cssg_method_choices():
+    """Every registered construction method plus the size-resolved
+    ``auto`` — derived from the registry so a newly registered builder
+    is immediately accepted by both CLIs."""
+    return ["auto"] + sorted(CSSG_METHODS)
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -62,8 +72,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cssg-method",
         default="auto",
-        choices=["auto", "exact", "ternary", "hybrid"],
-        help="CSSG vector-validity analysis",
+        choices=_cssg_method_choices(),
+        help="CSSG construction method (symbolic = BDD image computation)",
     )
     parser.add_argument(
         "--no-random", action="store_true", help="skip the random TPG step"
@@ -246,8 +256,11 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cssg-method",
         default="auto",
-        choices=["auto", "exact", "ternary", "hybrid"],
-        help="CSSG vector-validity analysis",
+        help=(
+            "comma list of CSSG construction methods to cross as a "
+            "campaign axis (auto/exact/ternary/hybrid/symbolic; "
+            "default: auto)"
+        ),
     )
     parser.add_argument(
         "--random-walks", type=int, default=None, help="random TPG walk count"
@@ -323,7 +336,19 @@ def campaign_main(argv=None) -> int:
         TABLE2_NAMES if args.table2 else TABLE1_NAMES
     )
     style = args.style or ("two-level" if args.table2 else "complex")
-    option_fields = {"cssg_method": args.cssg_method}
+    methods = tuple(
+        m.strip() for m in args.cssg_method.split(",") if m.strip()
+    ) or ("auto",)
+    known = set(_cssg_method_choices())
+    unknown = sorted(set(methods) - known)
+    if unknown:
+        print(
+            f"error: unknown --cssg-method value(s) {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(known))})",
+            file=sys.stderr,
+        )
+        return 2
+    option_fields = {}
     if args.random_walks is not None:
         option_fields["random_walks"] = args.random_walks
     if args.walk_len is not None:
@@ -335,6 +360,7 @@ def campaign_main(argv=None) -> int:
             fault_models=tuple(m.strip() for m in args.models.split(",") if m.strip()),
             seeds=tuple(int(s) for s in args.seeds.split(",") if s.strip()),
             ks=(args.k,),
+            cssg_methods=methods,
             options=AtpgOptions(**option_fields),
         )
         jobs = expand(spec)

@@ -34,7 +34,10 @@ from repro.sgraph.cssg import Cssg, build_cssg
 #: any other version as a miss, so stale entries are recomputed rather
 #: than misread.  Version 2 added :attr:`FaultStatus.reason` (why a
 #: fault aborted) and the ``deadline_seconds`` / ``compact`` options.
-RESULT_SCHEMA_VERSION = 2
+#: Version 3 added the resolved CSSG construction method and the
+#: symbolic-kernel facts (TCSG state count, peak BDD nodes, GC passes,
+#: image iterations) to the ``cssg`` block.
+RESULT_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -46,8 +49,10 @@ class AtpgOptions:
     max_input_changes: Optional[int] = None  # None = any subset may switch
     # CSSG validity analysis: "exact" (formal TCR_k, exponential),
     # "ternary" (GMW/Eichelberger, polynomial), "hybrid" (union of both
-    # sound acceptances), or "auto" (hybrid for small circuits, ternary
-    # beyond `auto_exact_limit` signals).
+    # sound acceptances), "symbolic" (exact TCR_k semantics by BDD image
+    # computation — the large-state-space path), or "auto" (hybrid up to
+    # `auto_exact_limit` signals, i.e. 2^limit states; symbolic above —
+    # enumeration is off the table there, image computation is not).
     cssg_method: str = "auto"
     auto_exact_limit: int = 20
     random_walks: int = 16
@@ -132,12 +137,22 @@ class FaultStatus:
 @dataclass(frozen=True)
 class CssgSummary:
     """The CSSG facts a serialized result keeps: enough for reports and
-    :meth:`AtpgResult.summary`, without the full state graph."""
+    :meth:`AtpgResult.summary`, without the full state graph.
+
+    ``method`` is the *resolved* construction method ("auto" never
+    appears here); the remaining fields are the symbolic-kernel metrics,
+    zero when an explicit builder ran."""
 
     k: int
     reset: int
     n_states: int
     n_edges: int
+    method: str = ""
+    n_tcsg_states: int = 0
+    peak_bdd_nodes: int = 0
+    n_gc_passes: int = 0
+    n_reorders: int = 0
+    n_image_iterations: int = 0
 
 
 @dataclass
@@ -213,6 +228,12 @@ class AtpgResult:
                 "reset": self.cssg.reset,
                 "n_states": self.cssg.n_states,
                 "n_edges": self.cssg.n_edges,
+                "method": self.cssg.method,
+                "n_tcsg_states": self.cssg.n_tcsg_states,
+                "peak_bdd_nodes": self.cssg.peak_bdd_nodes,
+                "n_gc_passes": self.cssg.n_gc_passes,
+                "n_reorders": self.cssg.n_reorders,
+                "n_image_iterations": self.cssg.n_image_iterations,
             },
             "faults": [f.to_json() for f in self.faults],
             "statuses": [self.statuses[f].to_json_dict() for f in self.faults],
@@ -259,6 +280,12 @@ class AtpgResult:
                 reset=int(g["reset"]),
                 n_states=int(g["n_states"]),
                 n_edges=int(g["n_edges"]),
+                method=str(g.get("method", "")),
+                n_tcsg_states=int(g.get("n_tcsg_states", 0)),
+                peak_bdd_nodes=int(g.get("peak_bdd_nodes", 0)),
+                n_gc_passes=int(g.get("n_gc_passes", 0)),
+                n_reorders=int(g.get("n_reorders", 0)),
+                n_image_iterations=int(g.get("n_image_iterations", 0)),
             ),
             faults=faults,
             statuses={s.fault: s for s in statuses},
@@ -272,21 +299,35 @@ class AtpgResult:
         )
 
 
-def cssg_for(circuit: Circuit, opts: AtpgOptions) -> Cssg:
-    """Build the CSSG exactly as :meth:`AtpgEngine.run` would, resolving
-    the ``"auto"`` method by circuit size.  Exposed so callers that run
-    several option variants of one circuit (both fault models, many
-    seeds — the campaign runner) can share one construction."""
+def resolve_cssg_method(circuit: Circuit, opts: AtpgOptions) -> str:
+    """The concrete construction method ``opts`` selects for ``circuit``.
+
+    ``"auto"`` picks by state-space size: the hybrid enumerative
+    analysis up to ``2**auto_exact_limit`` states (``n_signals <=
+    auto_exact_limit``), the symbolic builder above — explicit
+    enumeration is hopeless there, BDD image computation is the paper's
+    answer."""
     method = opts.cssg_method
     if method == "auto":
-        method = (
-            "hybrid" if circuit.n_signals <= opts.auto_exact_limit else "ternary"
+        return (
+            "hybrid"
+            if circuit.n_signals <= opts.auto_exact_limit
+            else "symbolic"
         )
+    return method
+
+
+def cssg_for(circuit: Circuit, opts: AtpgOptions) -> Cssg:
+    """Build the CSSG exactly as the flow would, resolving the
+    ``"auto"`` method by circuit size (:func:`resolve_cssg_method`).
+    Exposed so callers that run several option variants of one circuit
+    (both fault models, many seeds — the campaign runner) can share one
+    construction."""
     return build_cssg(
         circuit,
         k=opts.k,
         max_input_changes=opts.max_input_changes,
-        method=method,
+        method=resolve_cssg_method(circuit, opts),
     )
 
 

@@ -23,6 +23,13 @@ class TableRow:
     ``aborted`` and ``abort_reasons`` surface the flow's abort ledger
     (input-model run): how many faults were given up on and why, e.g.
     ``"budget:3,product-states:1"`` — empty when nothing aborted.
+
+    ``cssg_states`` / ``cssg_edges`` are the constructed graph's size
+    and ``cssg_method`` the resolved construction method;
+    ``tcsg_states`` is the total test-mode reachable state count (the
+    paper-table metric, computed by the symbolic builder; 0 = not
+    computed).  ``peak_bdd_nodes`` / ``gc_passes`` / ``image_iters``
+    profile the symbolic kernel, zero for explicit constructions.
     """
 
     name: str
@@ -36,6 +43,14 @@ class TableRow:
     cpu: float
     aborted: int = 0
     abort_reasons: str = ""
+    cssg_method: str = ""
+    cssg_states: int = 0
+    cssg_edges: int = 0
+    tcsg_states: int = 0
+    peak_bdd_nodes: int = 0
+    gc_passes: int = 0
+    reorders: int = 0
+    image_iters: int = 0
 
     @property
     def out_fc(self) -> float:
@@ -61,6 +76,14 @@ class TableRow:
             "cpu": self.cpu,
             "aborted": self.aborted,
             "abort_reasons": self.abort_reasons,
+            "cssg_method": self.cssg_method,
+            "cssg_states": self.cssg_states,
+            "cssg_edges": self.cssg_edges,
+            "tcsg_states": self.tcsg_states,
+            "peak_bdd_nodes": self.peak_bdd_nodes,
+            "gc_passes": self.gc_passes,
+            "reorders": self.reorders,
+            "image_iters": self.image_iters,
         }
 
 
@@ -69,6 +92,7 @@ def result_row(
 ) -> TableRow:
     """Combine the two fault-model runs of one benchmark into a row."""
     reasons = input_result.abort_reasons()
+    cssg = input_result.cssg
     return TableRow(
         name=name,
         out_tot=output_result.n_total if output_result else 0,
@@ -82,6 +106,14 @@ def result_row(
              + (output_result.cpu_seconds if output_result else 0.0)),
         aborted=input_result.n_aborted,
         abort_reasons=",".join(f"{k}:{v}" for k, v in reasons.items()),
+        cssg_method=cssg.method,
+        cssg_states=cssg.n_states,
+        cssg_edges=cssg.n_edges,
+        tcsg_states=cssg.n_tcsg_states,
+        peak_bdd_nodes=cssg.peak_bdd_nodes,
+        gc_passes=cssg.n_gc_passes,
+        reorders=cssg.n_reorders,
+        image_iters=cssg.n_image_iterations,
     )
 
 
@@ -117,6 +149,8 @@ def format_table(rows: Sequence[TableRow], title: str = "") -> str:
 CSV_COLUMNS = (
     "name", "out_tot", "out_cov", "out_fc", "in_tot", "in_cov", "in_fc",
     "rnd", "three_ph", "sim", "cpu", "aborted", "abort_reasons",
+    "cssg_method", "cssg_states", "cssg_edges", "tcsg_states",
+    "peak_bdd_nodes", "gc_passes", "reorders", "image_iters",
 )
 
 

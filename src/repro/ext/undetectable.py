@@ -8,7 +8,13 @@ stable-state-observation semantics), neither is complete:
 
 * **never excited** — the fault site holds the stuck value in every
   reachable stable state *and* the faulty machine is stable in each of
-  them (so no stable-state divergence can ever start);
+  them (so no stable-state divergence can ever start).  The state set
+  this is checked over is the full symbolic TCSG reachable-stable set —
+  a superset of the CSSG's nodes (which only contains states reachable
+  through *valid* vectors), so the verdict holds even for excursions
+  the CSSG pruned; the whole check is three BDD conjunctions per fault,
+  no enumeration.  An explicit CSSG-state walk remains as the
+  ``use_symbolic=False`` fallback.
 * **stable-equivalent** — exhaustive product walk of (good CSSG state,
   faulty ternary state) shows the faulty machine always reaches output-
   identical *definite* stable states.  This is the same search the
@@ -21,8 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.bdd.manager import FALSE
 from repro.circuit.faults import Fault
+from repro.errors import StateGraphError
 from repro.sgraph.cssg import Cssg
+from repro.sgraph.symbolic import SymbolicTcsg
 from repro.sim import ternary
 
 NEVER_EXCITED = "never-excited"
@@ -37,9 +46,29 @@ class Classification:
     product_states: int = 0
 
 
+def _never_excited_symbolic(
+    sym: SymbolicTcsg, stable_reachable: int, fault: Fault
+) -> bool:
+    """The never-excited check over the symbolic TCSG stable set.
+
+    Soundness needs two facts about every reachable stable state: the
+    fault site already holds the stuck value (the fault is never
+    excited), and the faulted gate's function still agrees with its
+    output there (the fault does not destabilize the state — every
+    *other* gate is stable because its function is untouched)."""
+    mgr = sym.mgr
+    site, stuck = fault.excitation_site(), fault.value
+    stuck_lit = mgr.var(site) if stuck else mgr.nvar(site)
+    if mgr.apply_and(stable_reachable, stuck_lit ^ 1) != FALSE:
+        return False  # some reachable stable state excites the site
+    disagree = mgr.apply_xor(mgr.var(fault.gate), sym.faulty_gate_fn(fault))
+    return mgr.apply_and(stable_reachable, disagree) == FALSE
+
+
 def _never_excited(cssg: Cssg, fault: Fault) -> bool:
-    """True when no reachable stable state excites the fault site and the
-    fault does not destabilize any stable state."""
+    """Explicit fallback: the same check walked over the CSSG's states
+    (a subset of the TCSG stable set, hence weaker — kept for
+    ``use_symbolic=False`` and as the differential oracle)."""
     circuit = cssg.circuit
     site, stuck = fault.excitation_site(), fault.value
     for state in cssg.states:
@@ -95,21 +124,57 @@ def _stable_equivalent(
 
 
 def classify_undetectable(
-    cssg: Cssg, faults: List[Fault], budget_per_fault: int = 20_000
+    cssg: Cssg,
+    faults: List[Fault],
+    budget_per_fault: int = 20_000,
+    use_symbolic: bool = True,
+    symbolic: Optional[SymbolicTcsg] = None,
 ) -> Dict[Fault, Classification]:
     """Classify each fault before running expensive per-fault ATPG.
 
     The returned verdicts partition ``faults`` into provably undetectable
-    (two reasons) and possibly detectable.
+    (two reasons) and possibly detectable.  With ``use_symbolic`` (the
+    default) the never-excited check runs against the symbolic TCSG
+    reachable-stable set — one BDD reachability computation shared by
+    every fault; otherwise it walks the explicit CSSG states.  A caller
+    that already holds a :class:`SymbolicTcsg` for this circuit (e.g.
+    because the CSSG itself was built symbolically) can pass it as
+    ``symbolic`` to reuse its encoding instead of rebuilding one.
     """
+    sym: Optional[SymbolicTcsg] = None
+    stable_reachable = FALSE
+    if use_symbolic and faults:
+        try:
+            sym = symbolic if symbolic is not None else SymbolicTcsg(cssg.circuit)
+            stable_reachable = sym.mgr.add_root(
+                sym.stable_reachable(sym.state_bdd(cssg.reset))
+            )
+        except StateGraphError:
+            sym = None  # fall back to the explicit CSSG walk
     result: Dict[Fault, Classification] = {}
-    for fault in faults:
-        if _never_excited(cssg, fault):
-            result[fault] = Classification(fault, NEVER_EXCITED)
-            continue
-        verdict, explored = _stable_equivalent(cssg, fault, budget_per_fault)
-        if verdict is True:
-            result[fault] = Classification(fault, STABLE_EQUIVALENT, explored)
-        else:
-            result[fault] = Classification(fault, POSSIBLY_DETECTABLE, explored)
+    try:
+        for fault in faults:
+            if sym is not None:
+                never = _never_excited_symbolic(sym, stable_reachable, fault)
+                # Per-fault faulty-function garbage has no further use;
+                # let the manager's auto-GC reclaim it at this safe
+                # point (the reachable set and encoding are rooted).
+                sym.mgr.checkpoint()
+            else:
+                never = _never_excited(cssg, fault)
+            if never:
+                result[fault] = Classification(fault, NEVER_EXCITED)
+                continue
+            verdict, explored = _stable_equivalent(cssg, fault, budget_per_fault)
+            if verdict is True:
+                result[fault] = Classification(fault, STABLE_EQUIVALENT, explored)
+            else:
+                result[fault] = Classification(
+                    fault, POSSIBLY_DETECTABLE, explored
+                )
+    finally:
+        if sym is not None:
+            # Unpin the reachable set — the manager may outlive this
+            # call when the caller passed its own SymbolicTcsg.
+            sym.mgr.remove_root(stable_reachable)
     return result

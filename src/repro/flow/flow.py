@@ -102,7 +102,8 @@ class Flow:
                 StageFinished(
                     "cssg",
                     time.perf_counter() - t0,
-                    f"{cssg.n_states} states / {cssg.n_edges} edges",
+                    f"{cssg.n_states} states / {cssg.n_edges} edges "
+                    f"[{cssg.method}]",
                 )
             )
         ctx = RunContext(

@@ -5,12 +5,32 @@
   length; paper §2, §4.1).
 * :mod:`repro.sgraph.cssg` — reachable-stable-state traversal and the
   k-Confluent Stable State Graph (paper §4.2).
-* :mod:`repro.sgraph.symbolic` — BDD-based encodings of R_I / R_delta,
-  symbolic reachability and a symbolic CSSG used for cross-validation
-  (paper §3.1's "symbolic traversal algorithms similar to [10, 7]").
+* :mod:`repro.sgraph.symbolic` — partitioned BDD image computation of
+  the TCSG/CSSG (paper §3.1's "symbolic traversal algorithms similar to
+  [10, 7]") — a first-class construction method (``method="symbolic"``)
+  and the production path for large state spaces.
+
+Construction methods implement the :class:`CssgBuilder` protocol and
+register in :data:`CSSG_METHODS`; :func:`build_cssg` dispatches on it.
 """
 
 from repro.sgraph.explore import SettleReport, settle_report
-from repro.sgraph.cssg import Cssg, build_cssg
+from repro.sgraph.cssg import (
+    CSSG_METHODS,
+    Cssg,
+    CssgBuilder,
+    ExplicitCssgBuilder,
+    SymbolicCssgBuilder,
+    build_cssg,
+)
 
-__all__ = ["SettleReport", "settle_report", "Cssg", "build_cssg"]
+__all__ = [
+    "SettleReport",
+    "settle_report",
+    "CSSG_METHODS",
+    "Cssg",
+    "CssgBuilder",
+    "ExplicitCssgBuilder",
+    "SymbolicCssgBuilder",
+    "build_cssg",
+]

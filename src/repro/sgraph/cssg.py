@@ -19,7 +19,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Set,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro._bits import hamming
 from repro.circuit.netlist import Circuit
@@ -29,7 +38,9 @@ from repro.sgraph.explore import settle_report
 
 @dataclass
 class CssgStats:
-    """Vector-validity accounting gathered during construction."""
+    """Construction accounting: vector-validity counters, plus — for the
+    symbolic builder — the paper-table state counts and kernel metrics
+    (peak BDD nodes, GC passes, reorders, image iterations)."""
 
     n_vectors_tried: int = 0
     n_valid: int = 0
@@ -38,6 +49,16 @@ class CssgStats:
     n_too_slow: int = 0
     n_phi: int = 0  # ternary method: rejected with uncertain outcome
     max_settle_path: int = 0
+    #: The validity analysis that actually ran ("exact" / "ternary" /
+    #: "hybrid" / "symbolic"; "auto" is resolved before construction).
+    method: str = ""
+    #: TCSG reachable-state count (symbolic builder only; 0 = unknown).
+    n_tcsg_states: int = 0
+    # Symbolic-kernel metrics (zero for the explicit builders):
+    peak_bdd_nodes: int = 0
+    n_gc_passes: int = 0
+    n_reorders: int = 0
+    n_image_iterations: int = 0
 
 
 @dataclass
@@ -58,6 +79,35 @@ class Cssg:
     @property
     def n_edges(self) -> int:
         return sum(len(e) for e in self.edges.values())
+
+    # The facts below mirror :class:`repro.core.atpg.CssgSummary` so a
+    # live graph and a deserialized summary are duck-interchangeable for
+    # reports.
+
+    @property
+    def method(self) -> str:
+        """The validity analysis that built this graph (see stats)."""
+        return self.stats.method
+
+    @property
+    def n_tcsg_states(self) -> int:
+        return self.stats.n_tcsg_states
+
+    @property
+    def peak_bdd_nodes(self) -> int:
+        return self.stats.peak_bdd_nodes
+
+    @property
+    def n_gc_passes(self) -> int:
+        return self.stats.n_gc_passes
+
+    @property
+    def n_reorders(self) -> int:
+        return self.stats.n_reorders
+
+    @property
+    def n_image_iterations(self) -> int:
+        return self.stats.n_image_iterations
 
     def valid_patterns(self, state: int) -> Dict[int, int]:
         """Map {input pattern: successor stable state} for ``state``."""
@@ -145,98 +195,26 @@ class Cssg:
         return visited
 
 
-def build_cssg(
-    circuit: Circuit,
-    k: Optional[int] = None,
-    reset: Optional[int] = None,
-    max_input_changes: Optional[int] = None,
-    method: str = "exact",
-    cap_states: int = 100_000,
-    cap_settle: int = 200_000,
+def frontier_traverse(
+    cssg: Cssg,
+    analyse,
+    max_input_changes: Optional[int],
+    cap_states: int,
 ) -> Cssg:
-    """Compute the CSSG_k by forward traversal from the reset state.
+    """The construction loop every builder shares: breadth-first over
+    reachable stable states, trying every input pattern (optionally
+    Hamming-limited), with results memoized on the post-R_I state.
 
-    ``method`` selects the per-vector validity analysis:
-
-    * ``"exact"`` — exhaustive interleaving exploration implementing the
-      paper's formal TCR_k/CSSG_k definition (§4.2): the settling graph
-      must be acyclic with a single stable terminal reached within ``k``
-      transitions.  Exponential in the worst case; fine for small
-      circuits.
-    * ``"ternary"`` — Eichelberger ternary simulation (§5.4): a vector is
-      valid iff Algorithms A+B settle every signal to a definite value.
-      This is the GMW race model of [6] — polynomial, conservative about
-      races, and *more permissive* about transient cycles: a cyclic
-      settling graph whose escape is delay-forced still gets a definite
-      verdict.  The ``k`` bound is not checked (GMW has no step count).
-    * ``"hybrid"`` — the union of the two acceptances: take the exact
-      verdict when the settling graph is acyclic; when only a transient
-      cycle blocks it, accept a definite ternary outcome.  Both criteria
-      are sound for the unbounded gate-delay model, and each covers the
-      other's blind spot (exact: interlocked feedback that ternary
-      dissolves into Φ; ternary: transient cycles whose escape is
-      delay-forced).
-
-    ``max_input_changes`` restricts how many input pins may switch in one
-    test cycle (None = any subset, the paper's default).  ``cap_states``
-    bounds the stable-state traversal, ``cap_settle`` each settling
-    exploration.
+    ``analyse(started) -> Optional[successor]`` is the method-specific
+    validity analysis — the only thing the builders differ in.  Raises
+    :class:`StateGraphError` past ``cap_states`` stable states.
     """
-    if reset is None:
-        reset = circuit.require_reset()
-    if k is None:
-        k = circuit.k
-    if method not in ("exact", "ternary", "hybrid"):
-        raise StateGraphError(f"unknown CSSG method {method!r}")
-    if not circuit.is_stable(reset):
-        report = settle_report(circuit, reset, cap_settle)
-        if report.valid(k):
-            reset = report.unique_stable
-        else:
-            raise StateGraphError(
-                f"reset state {circuit.state_bits(reset)} is unstable and does "
-                "not settle confluently; provide a stable .reset"
-            )
-
-    cssg = Cssg(circuit=circuit, k=k, reset=reset)
+    circuit = cssg.circuit
     stats = cssg.stats
-    m = circuit.n_inputs
-    all_patterns = list(range(1 << m))
-    memo: Dict[int, Optional[int]] = {}  # post-R_I state -> successor or None
-
-    def ternary_outcome(started: int) -> Optional[int]:
-        from repro.sim import ternary as tsim
-
-        result = tsim.settle(circuit, tsim.from_binary(started, circuit.n_signals))
-        if not tsim.is_definite(result):
-            stats.n_phi += 1
-            return None
-        return tsim.to_binary(result)
-
-    def analyse(started: int) -> Optional[int]:
-        """Unique stable successor of the post-R_I state, or None."""
-        if method == "ternary":
-            return ternary_outcome(started)
-        report = settle_report(circuit, started, cap_settle)
-        if report.nonconfluent:
-            stats.n_nonconfluent += 1
-            return None
-        if report.oscillating or report.truncated:
-            if method == "hybrid":
-                # A transient cycle: a definite ternary verdict proves a
-                # delay-forced escape to one stable state.
-                return ternary_outcome(started)
-            stats.n_oscillating += 1
-            return None
-        assert report.longest_path is not None
-        if report.longest_path > k:
-            stats.n_too_slow += 1
-            return None
-        stats.max_settle_path = max(stats.max_settle_path, report.longest_path)
-        return report.unique_stable
-
-    frontier = [reset]
-    cssg.states.add(reset)
+    all_patterns = list(range(1 << circuit.n_inputs))
+    memo: Dict[int, Optional[int]] = {}  # post-R_I state -> succ or None
+    frontier = [cssg.reset]
+    cssg.states.add(cssg.reset)
     while frontier:
         next_frontier: List[int] = []
         for s in frontier:
@@ -271,3 +249,201 @@ def build_cssg(
             cssg.edges[s] = out_edges
         frontier = next_frontier
     return cssg
+
+
+@runtime_checkable
+class CssgBuilder(Protocol):
+    """Strategy protocol every CSSG construction method implements.
+
+    A builder is registered under its ``method`` name (see
+    :data:`CSSG_METHODS`) and produces a :class:`Cssg` that downstream
+    consumers treat identically regardless of how it was built — the
+    symbolic builder's output is structurally indistinguishable from the
+    explicit exact builder's.
+    """
+
+    method: str
+
+    def build(
+        self,
+        circuit: Circuit,
+        k: Optional[int] = None,
+        reset: Optional[int] = None,
+        max_input_changes: Optional[int] = None,
+        cap_states: int = 100_000,
+        cap_settle: int = 200_000,
+    ) -> Cssg:
+        ...  # pragma: no cover
+
+
+class ExplicitCssgBuilder:
+    """Enumerative construction: forward traversal of reachable stable
+    states with a per-vector validity analysis.
+
+    ``method`` selects the analysis:
+
+    * ``"exact"`` — exhaustive interleaving exploration implementing the
+      paper's formal TCR_k/CSSG_k definition (§4.2): the settling graph
+      must be acyclic with a single stable terminal reached within ``k``
+      transitions.  Exponential in the worst case; fine for small
+      circuits.
+    * ``"ternary"`` — Eichelberger ternary simulation (§5.4): a vector is
+      valid iff Algorithms A+B settle every signal to a definite value.
+      This is the GMW race model of [6] — polynomial, conservative about
+      races, and *more permissive* about transient cycles: a cyclic
+      settling graph whose escape is delay-forced still gets a definite
+      verdict.  The ``k`` bound is not checked (GMW has no step count).
+    * ``"hybrid"`` — the union of the two acceptances: take the exact
+      verdict when the settling graph is acyclic; when only a transient
+      cycle blocks it, accept a definite ternary outcome.  Both criteria
+      are sound for the unbounded gate-delay model, and each covers the
+      other's blind spot (exact: interlocked feedback that ternary
+      dissolves into Φ; ternary: transient cycles whose escape is
+      delay-forced).
+    """
+
+    def __init__(self, method: str):
+        self.method = method
+
+    def build(
+        self,
+        circuit: Circuit,
+        k: Optional[int] = None,
+        reset: Optional[int] = None,
+        max_input_changes: Optional[int] = None,
+        cap_states: int = 100_000,
+        cap_settle: int = 200_000,
+    ) -> Cssg:
+        method = self.method
+        if reset is None:
+            reset = circuit.require_reset()
+        if k is None:
+            k = circuit.k
+        if not circuit.is_stable(reset):
+            report = settle_report(circuit, reset, cap_settle)
+            if report.valid(k):
+                reset = report.unique_stable
+            else:
+                raise StateGraphError(
+                    f"reset state {circuit.state_bits(reset)} is unstable and "
+                    "does not settle confluently; provide a stable .reset"
+                )
+
+        cssg = Cssg(circuit=circuit, k=k, reset=reset)
+        stats = cssg.stats
+        stats.method = method
+
+        def ternary_outcome(started: int) -> Optional[int]:
+            from repro.sim import ternary as tsim
+
+            result = tsim.settle(
+                circuit, tsim.from_binary(started, circuit.n_signals)
+            )
+            if not tsim.is_definite(result):
+                stats.n_phi += 1
+                return None
+            return tsim.to_binary(result)
+
+        def analyse(started: int) -> Optional[int]:
+            """Unique stable successor of the post-R_I state, or None."""
+            if method == "ternary":
+                return ternary_outcome(started)
+            report = settle_report(circuit, started, cap_settle)
+            if report.nonconfluent:
+                stats.n_nonconfluent += 1
+                return None
+            if report.oscillating or report.truncated:
+                if method == "hybrid":
+                    # A transient cycle: a definite ternary verdict proves
+                    # a delay-forced escape to one stable state.
+                    return ternary_outcome(started)
+                stats.n_oscillating += 1
+                return None
+            assert report.longest_path is not None
+            if report.longest_path > k:
+                stats.n_too_slow += 1
+                return None
+            stats.max_settle_path = max(
+                stats.max_settle_path, report.longest_path
+            )
+            return report.unique_stable
+
+        return frontier_traverse(cssg, analyse, max_input_changes, cap_states)
+
+
+class SymbolicCssgBuilder:
+    """BDD-based construction (paper §3.1/§4.2): the exact TCR_k
+    semantics computed by symbolic image iteration instead of explicit
+    interleaving enumeration — the production path for large state
+    spaces.  See :class:`repro.sgraph.symbolic.SymbolicTcsg`."""
+
+    method = "symbolic"
+
+    def build(
+        self,
+        circuit: Circuit,
+        k: Optional[int] = None,
+        reset: Optional[int] = None,
+        max_input_changes: Optional[int] = None,
+        cap_states: int = 100_000,
+        cap_settle: int = 200_000,
+    ) -> Cssg:
+        # cap_states bounds the stable-state enumeration here too;
+        # cap_settle governs explicit settling only (symbolic settling
+        # is bounded by k and the manager's housekeeping instead).
+        from repro.sgraph.symbolic import SymbolicTcsg
+
+        return SymbolicTcsg(circuit).build_cssg(
+            k=k,
+            reset=reset,
+            max_input_changes=max_input_changes,
+            cap_states=cap_states,
+        )
+
+
+#: Registry of CSSG construction methods; ``build_cssg`` dispatches on
+#: it and :func:`repro.core.atpg.cssg_for` resolves ``"auto"`` against
+#: its keys.  Extend by registering another :class:`CssgBuilder`.
+CSSG_METHODS: Dict[str, CssgBuilder] = {
+    "exact": ExplicitCssgBuilder("exact"),
+    "ternary": ExplicitCssgBuilder("ternary"),
+    "hybrid": ExplicitCssgBuilder("hybrid"),
+    "symbolic": SymbolicCssgBuilder(),
+}
+
+
+def build_cssg(
+    circuit: Circuit,
+    k: Optional[int] = None,
+    reset: Optional[int] = None,
+    max_input_changes: Optional[int] = None,
+    method: str = "exact",
+    cap_states: int = 100_000,
+    cap_settle: int = 200_000,
+) -> Cssg:
+    """Compute the CSSG_k by forward traversal from the reset state.
+
+    ``method`` names a registered :class:`CssgBuilder` — ``"exact"`` /
+    ``"ternary"`` / ``"hybrid"`` (enumerative; see
+    :class:`ExplicitCssgBuilder`) or ``"symbolic"`` (BDD image
+    computation with exact TCR_k semantics; see
+    :class:`SymbolicCssgBuilder`).  ``max_input_changes`` restricts how
+    many input pins may switch in one test cycle (None = any subset,
+    the paper's default).  ``cap_states`` bounds the explicit
+    stable-state traversal, ``cap_settle`` each explicit settling
+    exploration.
+    """
+    builder = CSSG_METHODS.get(method)
+    if builder is None:
+        raise StateGraphError(
+            f"unknown CSSG method {method!r} "
+            f"(available: {', '.join(sorted(CSSG_METHODS))})"
+        )
+    return builder.build(
+        circuit,
+        k=k,
+        reset=reset,
+        max_input_changes=max_input_changes,
+        cap_states=cap_states,
+        cap_settle=cap_settle,
+    )

@@ -1,22 +1,42 @@
-"""Symbolic (BDD-based) traversal of the test-mode circuit state graph.
+"""Symbolic (BDD-based) construction of the test-mode state graphs.
 
-This is the paper's §3.1/§4.2 machinery: encode the circuit state as BDD
-variables, build the transition relations
+This is the paper's §3.1/§4.2 machinery — and, since the symbolic-kernel
+rewrite, the production construction path for circuits whose state space
+is too large to enumerate: encode the circuit state as one BDD variable
+per signal, and compute
 
-* ``R_delta`` — one excited gate switches (stable states self-loop), and
-* ``R_I`` — a stable state has its input bits rewritten arbitrarily,
+* the TCSG reachable set by a frontier-based least fixpoint of images
+  under the two test-mode relations (gate switches and input rewrites),
+* the CSSG edges by iterating the gate-switch image exactly ``k`` times
+  from each (stable state, input pattern) pair: the pair is a CSSG edge
+  iff the k-step image is one singleton stable state (TCR_k uniqueness,
+  §4.2).
 
-then compute the TCSG reachable set by a least-fixpoint of images, and
-the CSSG edges by iterating the R_delta image exactly ``k`` times from
-each (stable state, input pattern) pair: the pair is a CSSG edge iff the
-k-step image is one singleton stable state (TCR_k uniqueness, §4.2).
+**Partitioned transition relations.**  The monolithic relation
+``R_delta = ∨_g (excited_g ∧ flip_g ∧ others_hold) ∨ stable-loop`` of
+the seed implementation is replaced by its per-gate partition: each gate
+contributes the conjunct ``excited_g ∧ (g' = ¬g) ∧ frame_g`` where the
+frame holds every other signal.  Because the interleaved model switches
+exactly one signal per step, the relational product against partition
+``g`` quantifies *early* down to a single variable and the next-state
+encoding disappears entirely:
 
-Variable order interleaves current/next: signal *i* gets current level
-``2i`` and next level ``2i+1``, the classic ordering for relations.
+    image_g(S)  =  (S ∧ excited_g)[g ← ¬g]
 
-The module exists both as the faithful "symbolic techniques" of the paper
-and as an independent oracle: tests assert that explicit and symbolic
-reachability/CSSG agree exactly.
+one conjunction and one cofactor swap (:meth:`BddManager.flip_var`),
+with no next-state variables, no renaming, and no frame conjuncts.  The
+input relation ``R_I`` partitions the same way: from stable states the
+inputs are rewritten arbitrarily, so its image is
+``∃ inputs . (S ∧ stable)``.  The manager therefore only carries
+``n_signals`` variables instead of the seed's interleaved ``2n``.
+
+**Memory discipline.**  Persistent functions (gate functions, excitation
+conditions, the stable set) are registered as GC roots; the traversal
+loops call :meth:`BddManager.checkpoint` with their live frontier
+protected, so growth past the configured thresholds triggers
+mark-and-sweep collection and, past the reorder threshold, in-place
+sifting — peak live nodes stay bounded by the working set, not by the
+history of the computation.
 """
 
 from __future__ import annotations
@@ -24,46 +44,86 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.bdd.manager import FALSE, TRUE, BddManager
-from repro.circuit.expr import OP_AND, OP_CONST, OP_NOT, OP_OR, OP_VAR, OP_XOR
+from repro.circuit.expr import OP_AND, OP_NOT, OP_OR, OP_VAR, OP_XOR
+from repro.circuit.faults import Fault
 from repro.circuit.netlist import Circuit
 from repro.errors import StateGraphError
 from repro.sgraph.cssg import Cssg
 
+#: Default housekeeping thresholds for the traversal manager: cheap
+#: mark-and-sweep collects from the first threshold on, escalating to a
+#: full in-place sift only when the *live* set keeps growing past the
+#: second (collection alone raises its own next trigger, so a working
+#: set that stays small after GC never pays for sifting).  Both sit
+#: above anything the bundled corpus allocates (peak ~13k nodes) —
+#: these exist for the circuits the explicit builder cannot touch,
+#: where declaration order is rarely the right order.
+DEFAULT_AUTO_GC_NODES = 20_000
+DEFAULT_AUTO_REORDER_NODES = 100_000
+
 
 class SymbolicTcsg:
-    """BDD encoding of one circuit's test-mode behaviour."""
+    """BDD encoding of one circuit's test-mode behaviour.
 
-    def __init__(self, circuit: Circuit):
+    Signal *i* is BDD variable *i*; a set of states is a function over
+    those variables.  ``auto_gc_nodes`` / ``auto_reorder_nodes`` arm the
+    manager's checkpoint housekeeping (``None`` disables either).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        auto_gc_nodes: Optional[int] = DEFAULT_AUTO_GC_NODES,
+        auto_reorder_nodes: Optional[int] = DEFAULT_AUTO_REORDER_NODES,
+    ):
         self.circuit = circuit
-        n = circuit.n_signals
-        self.mgr = BddManager(2 * n)
-        self.n = n
-        # Gate functions over current-state variables.
+        self.n = circuit.n_signals
+        self.mgr = BddManager(
+            self.n,
+            auto_gc_nodes=auto_gc_nodes,
+            auto_reorder_nodes=auto_reorder_nodes,
+        )
+        mgr = self.mgr
+        #: Gate functions over the state variables.
         self.gate_fn: Dict[int, int] = {
-            g.index: self._compile(g.program) for g in circuit.gates
+            g.index: self.compile_program(g.program) for g in circuit.gates
         }
-        self.stable = self._stable_set()
-        self.r_delta = self._build_r_delta()
-        self.r_input = self._build_r_input()
+        #: Per-gate partition of R_delta: the excitation condition of
+        #: each gate (the image under partition g is
+        #: ``flip_var(S ∧ excited[g], g)``).
+        self.excited: Dict[int, int] = {
+            g.index: mgr.apply_xor(mgr.var(g.index), self.gate_fn[g.index])
+            for g in circuit.gates
+        }
+        self.stable = mgr.and_all(
+            self.excited[g.index] ^ 1 for g in circuit.gates
+        )
+        self._input_vars = list(range(circuit.n_inputs))
+        #: Image-computation step counter (reachability + settling).
+        self.n_image_iterations = 0
+        for ref in self.gate_fn.values():
+            mgr.add_root(ref)
+        for ref in self.excited.values():
+            mgr.add_root(ref)
+        mgr.add_root(self.stable)
 
     # -- encoding helpers -------------------------------------------------
 
-    def cur(self, i: int) -> int:
-        """Current-state variable level of signal i."""
-        return 2 * i
-
-    def nxt(self, i: int) -> int:
-        """Next-state variable level of signal i."""
-        return 2 * i + 1
-
-    def _compile(self, program) -> int:
+    def compile_program(
+        self, program, stuck: Optional[Dict[int, int]] = None
+    ) -> int:
+        """Compile a gate program to a BDD; ``stuck`` optionally forces
+        source signals to constants (the input stuck-at fault model)."""
         mgr = self.mgr
         stack: List[int] = []
         for op, arg in program:
             if op == OP_VAR:
-                stack.append(mgr.var(self.cur(arg)))
+                if stuck is not None and arg in stuck:
+                    stack.append(TRUE if stuck[arg] else FALSE)
+                else:
+                    stack.append(mgr.var(arg))
             elif op == OP_NOT:
-                stack.append(mgr.apply_not(stack.pop()))
+                stack.append(stack.pop() ^ 1)
             elif op == OP_AND:
                 b, a = stack.pop(), stack.pop()
                 stack.append(mgr.apply_and(a, b))
@@ -77,165 +137,189 @@ class SymbolicTcsg:
                 stack.append(TRUE if arg else FALSE)
         return stack[0]
 
+    def faulty_gate_fn(self, fault: Fault) -> int:
+        """The faulted gate's function under ``fault`` (same variables)."""
+        if fault.kind == "output":
+            return TRUE if fault.value else FALSE
+        gate = next(g for g in self.circuit.gates if g.index == fault.gate)
+        return self.compile_program(gate.program, stuck={fault.site: fault.value})
+
     def state_bdd(self, state: int) -> int:
-        """Characteristic function of one concrete state (current vars)."""
-        mgr = self.mgr
-        lits = []
-        for i in range(self.n):
-            level = self.cur(i)
-            lits.append(mgr.var(level) if (state >> i) & 1 else mgr.nvar(level))
-        return mgr.and_all(lits)
+        """Characteristic function of one concrete state."""
+        return self.mgr.cube(
+            {i: (state >> i) & 1 for i in range(self.n)}
+        )
 
-    def _stable_set(self) -> int:
-        """BDD of all stable states: every gate equals its function."""
-        mgr = self.mgr
-        conjuncts = []
-        for g in self.circuit.gates:
-            out = mgr.var(self.cur(g.index))
-            conjuncts.append(mgr.apply_iff(out, self.gate_fn[g.index]))
-        return mgr.and_all(conjuncts)
+    # -- images ------------------------------------------------------------
 
-    def _same(self, indices) -> int:
-        """BDD asserting next == current for the given signals."""
+    def delta_image(self, states: int) -> int:
+        """Successors under one gate switch (partitioned image: one
+        conjunction + one cofactor flip per gate, merged as a balanced
+        OR tree — pairwise unions keep intermediate results small)."""
         mgr = self.mgr
-        conjuncts = [
-            mgr.apply_iff(mgr.var(self.nxt(i)), mgr.var(self.cur(i)))
-            for i in indices
-        ]
-        return mgr.and_all(conjuncts)
+        self.n_image_iterations += 1
+        images = []
+        for g, excited in self.excited.items():
+            moving = mgr.apply_and(states, excited)
+            if moving != FALSE:
+                images.append(mgr.flip_var(moving, g))
+        while len(images) > 1:
+            merged = [
+                mgr.apply_or(images[i], images[i + 1])
+                for i in range(0, len(images) - 1, 2)
+            ]
+            if len(images) & 1:
+                merged.append(images[-1])
+            images = merged
+        return images[0] if images else FALSE
 
-    def _build_r_delta(self) -> int:
-        """R_delta: switch one excited gate, or self-loop when stable."""
-        mgr = self.mgr
-        n_inputs = self.circuit.n_inputs
-        inputs_hold = self._same(range(n_inputs))
-        disjuncts = []
-        all_gates = [g.index for g in self.circuit.gates]
-        for g in self.circuit.gates:
-            excited = mgr.apply_xor(mgr.var(self.cur(g.index)), self.gate_fn[g.index])
-            flip = mgr.apply_xor(
-                mgr.var(self.nxt(g.index)), mgr.var(self.cur(g.index))
-            )
-            others_hold = self._same(i for i in all_gates if i != g.index)
-            disjuncts.append(
-                mgr.and_all([excited, flip, others_hold])
-            )
-        stable_loop = mgr.apply_and(self.stable, self._same(all_gates))
-        moves = mgr.or_all(disjuncts)
-        return mgr.apply_and(inputs_hold, mgr.apply_or(moves, stable_loop))
+    def input_image(self, states: int) -> int:
+        """States reachable by rewriting the inputs of a stable state
+        (the early-quantified image of R_I)."""
+        self.n_image_iterations += 1
+        return self.mgr.and_exists(states, self.stable, self._input_vars)
 
-    def _build_r_input(self) -> int:
-        """R_I: from a stable state, inputs change freely, gates hold."""
+    def settle_step(self, states: int) -> int:
+        """One R_delta step with the stable self-loop: gate switches plus
+        stable states holding — the k-step settling iterator."""
         mgr = self.mgr
-        gates_hold = self._same(g.index for g in self.circuit.gates)
-        differs = mgr.apply_not(self._same(range(self.circuit.n_inputs)))
-        return mgr.and_all([self.stable, gates_hold, differs])
+        return mgr.apply_or(
+            self.delta_image(states), mgr.apply_and(states, self.stable)
+        )
+
+    def _checkpoint(self, *live: int) -> None:
+        """Housekeeping safe point with the loop's live sets protected."""
+        mgr = self.mgr
+        for ref in live:
+            mgr.add_root(ref)
+        mgr.checkpoint()
+        for ref in live:
+            mgr.remove_root(ref)
 
     # -- traversal ---------------------------------------------------------
 
-    def _next_to_cur(self) -> Dict[int, int]:
-        return {self.nxt(i): self.cur(i) for i in range(self.n)}
-
-    def image(self, states: int, relation: int) -> int:
-        """Forward image: rename(exists cur: relation AND states)."""
-        mgr = self.mgr
-        cur_vars = [self.cur(i) for i in range(self.n)]
-        img_next = mgr.and_exists(relation, states, cur_vars)
-        return mgr.rename(img_next, self._next_to_cur())
-
-    def reachable(self, from_states: Optional[int] = None, max_iters: int = 100_000) -> int:
-        """Least fixpoint of the TCSG relation R_I ∪ R_delta from reset."""
+    def reachable(
+        self, from_states: Optional[int] = None, max_iters: int = 100_000
+    ) -> int:
+        """Least fixpoint of the TCSG relation R_I ∪ R_delta from reset,
+        frontier-based: each iteration computes the image of the newly
+        reached states only."""
         mgr = self.mgr
         if from_states is None:
             from_states = self.state_bdd(self.circuit.require_reset())
-        relation = mgr.apply_or(self.r_delta, self.r_input)
         reached = from_states
         frontier = from_states
         for _ in range(max_iters):
-            img = self.image(frontier, relation)
-            new = mgr.apply_and(img, mgr.apply_not(reached))
+            img = mgr.apply_or(
+                self.delta_image(frontier), self.input_image(frontier)
+            )
+            new = mgr.apply_and(img, reached ^ 1)
             if new == FALSE:
                 return reached
             reached = mgr.apply_or(reached, new)
             frontier = new
+            self._checkpoint(reached, frontier)
         raise StateGraphError("symbolic reachability did not converge")
 
     def stable_reachable(self, from_states: Optional[int] = None) -> int:
+        """The reachable *stable* states — the node universe of the CSSG
+        before the validity pruning."""
         return self.mgr.apply_and(self.reachable(from_states), self.stable)
 
     def enumerate_states(self, bdd: int) -> Iterator[int]:
-        """Decode a current-variable BDD into packed state ints."""
-        cur_vars = [self.cur(i) for i in range(self.n)]
-        for assignment in self.mgr.sat_iter(bdd, cur_vars):
+        """Decode a state-set BDD into packed state ints."""
+        for assignment in self.mgr.sat_iter(bdd, list(range(self.n))):
             state = 0
             for i in range(self.n):
-                if assignment[self.cur(i)]:
+                if assignment[i]:
                     state |= 1 << i
             yield state
 
     def count_states(self, bdd: int) -> int:
-        return self.mgr.sat_count(bdd, [self.cur(i) for i in range(self.n)])
+        return self.mgr.sat_count(bdd, list(range(self.n)))
 
     # -- symbolic CSSG -------------------------------------------------------
 
     def k_step_outcome(self, state: int, pattern: int, k: int) -> Tuple[bool, Optional[int]]:
         """TCR_k uniqueness test for one (stable state, input pattern).
 
-        Iterates the R_delta image exactly ``k`` times (stable self-loops
-        pad shorter paths) from the post-R_I state.  Returns
+        Iterates the R_delta image exactly ``k`` times (stable
+        self-loops pad shorter paths) from the post-R_I state.  Returns
         ``(valid, successor)``: valid iff the k-step set is a single
         stable state — the paper's CSSG_k membership condition.
         """
-        mgr = self.mgr
         started = self.circuit.apply_input_pattern(state, pattern)
+        return self._settle_outcome(started, k)
+
+    def _settle_outcome(self, started: int, k: int) -> Tuple[bool, Optional[int]]:
+        mgr = self.mgr
         current = self.state_bdd(started)
-        seen_at = [current]
-        for step in range(k):
-            nxt = self.image(current, self.r_delta)
+        for _ in range(k):
+            nxt = self.settle_step(current)
             if nxt == current:
                 # Fixpoint: the set at every later step equals this one.
                 break
             current = nxt
-            seen_at.append(current)
-        singleton = self.count_states(current) == 1
-        if not singleton:
+            self._checkpoint(current)
+        # The k-step set must be one state, and that state stable: the
+        # subset test is a single conjunction, no decoding needed.
+        if mgr.apply_and(current, self.stable) != current:
+            return False, None
+        if self.count_states(current) != 1:
             return False, None
         only = next(self.enumerate_states(current))
-        if not self.circuit.is_stable(only):
-            return False, None
-        # The set must have *converged* to the singleton within k steps —
-        # if the loop above broke early it converged; if it ran k times,
-        # current is exactly the k-step set, which is what CSSG_k demands.
         return True, only
 
-    def build_cssg(self, k: Optional[int] = None) -> Cssg:
-        """CSSG via symbolic traversal; mirrors
-        :func:`repro.sgraph.cssg.build_cssg` and must agree with it."""
+    def build_cssg(
+        self,
+        k: Optional[int] = None,
+        reset: Optional[int] = None,
+        max_input_changes: Optional[int] = None,
+        cap_states: int = 100_000,
+    ) -> Cssg:
+        """CSSG via symbolic traversal; result-identical (states, edges,
+        reset) to :func:`repro.sgraph.cssg.build_cssg` with
+        ``method="exact"``.  The traversal loop is the shared
+        :func:`repro.sgraph.cssg.frontier_traverse`; only the per-vector
+        analysis (symbolic k-step settling) is this builder's own.
+        ``cap_states`` bounds the stable-state enumeration exactly as it
+        does for the explicit builders."""
+        from repro.sgraph.cssg import frontier_traverse
+
         circuit = self.circuit
         if k is None:
             k = circuit.k
-        reset = circuit.require_reset()
+        if reset is None:
+            reset = circuit.require_reset()
         if not circuit.is_stable(reset):
-            raise StateGraphError("symbolic CSSG needs a stable reset state")
+            valid, settled = self._settle_outcome(reset, k)
+            if not valid:
+                raise StateGraphError(
+                    f"reset state {circuit.state_bits(reset)} is unstable and "
+                    "does not settle confluently; provide a stable .reset"
+                )
+            assert settled is not None
+            reset = settled
         cssg = Cssg(circuit=circuit, k=k, reset=reset)
-        cssg.states.add(reset)
-        frontier = [reset]
-        n_inputs = circuit.n_inputs
-        while frontier:
-            next_frontier = []
-            for s in frontier:
-                out_edges: Dict[int, int] = {}
-                cur_pattern = circuit.input_pattern(s)
-                for pattern in range(1 << n_inputs):
-                    if pattern == cur_pattern:
-                        continue
-                    valid, succ = self.k_step_outcome(s, pattern, k)
-                    if valid:
-                        assert succ is not None
-                        out_edges[pattern] = succ
-                        if succ not in cssg.states:
-                            cssg.states.add(succ)
-                            next_frontier.append(succ)
-                cssg.edges[s] = out_edges
-            frontier = next_frontier
+        stats = cssg.stats
+        stats.method = "symbolic"
+
+        def analyse(started: int) -> Optional[int]:
+            valid, succ = self._settle_outcome(started, k)
+            return succ if valid else None
+
+        frontier_traverse(cssg, analyse, max_input_changes, cap_states)
+        if max_input_changes is None:
+            # The paper's Table metric: total TCSG reachable states.
+            stats.n_tcsg_states = self.count_states(self.reachable(
+                self.state_bdd(reset)
+            ))
+        self._record_kernel_stats(stats)
         return cssg
+
+    def _record_kernel_stats(self, stats) -> None:
+        mstats = self.mgr.stats
+        stats.peak_bdd_nodes = mstats.peak_nodes
+        stats.n_gc_passes = mstats.n_gc_passes
+        stats.n_reorders = mstats.n_reorders
+        stats.n_image_iterations = self.n_image_iterations

@@ -83,8 +83,40 @@ def test_rename_order_preserving(mgr):
     f = mgr.apply_and(b, mgr.var(3))
     g = mgr.rename(f, {1: 0, 3: 2})
     assert bdd_table(mgr, g) == brute(lambda t: t[0] & t[2])
-    with pytest.raises(BddError):
-        mgr.rename(f, {1: 2, 3: 0})  # order-inverting
+
+
+def test_rename_arbitrary_maps(mgr):
+    f = mgr.apply_and(mgr.var(1), mgr.apply_not(mgr.var(3)))
+    # Order-inverting map: 1 -> 2, 3 -> 0.
+    g = mgr.rename(f, {1: 2, 3: 0})
+    assert bdd_table(mgr, g) == brute(lambda t: t[2] & (1 - t[0]))
+    # Swap within the support (simultaneous, no capture).
+    h = mgr.rename(f, {1: 3, 3: 1})
+    assert bdd_table(mgr, h) == brute(lambda t: t[3] & (1 - t[1]))
+    # Identity entries are dropped, not capture errors.
+    assert mgr.rename(f, {1: 1, 3: 3}) == f
+
+
+def test_rename_swap_around_unmapped_support_var(mgr):
+    """Regression: a swap whose targets straddle an unmapped in-support
+    variable must re-insert that variable in order — the naive ``_mk``
+    rebuild produced an ill-ordered, non-canonical BDD."""
+    f = mgr.apply_or(mgr.apply_and(mgr.var(0), mgr.var(1)), mgr.var(2))
+    g = mgr.rename(f, {0: 2, 2: 0})
+    expect = mgr.apply_or(mgr.apply_and(mgr.var(2), mgr.var(1)), mgr.var(0))
+    assert g == expect  # canonicity: same function, same handle
+    assert bdd_table(mgr, g) == brute(lambda t: (t[2] & t[1]) | t[0])
+    assert mgr.sat_count(g) == sum(brute(lambda t: (t[2] & t[1]) | t[0]))
+
+
+def test_rename_error_paths(mgr):
+    f = mgr.apply_and(mgr.var(1), mgr.var(3))
+    with pytest.raises(BddError, match="not injective"):
+        mgr.rename(f, {1: 2, 3: 2})
+    with pytest.raises(BddError, match="captures"):
+        mgr.rename(f, {1: 3})  # 3 is unmapped support: would merge
+    with pytest.raises(BddError, match="not declared"):
+        mgr.rename(f, {1: NV + 5})
 
 
 def test_restrict(mgr):

@@ -72,6 +72,33 @@ def test_key_changes_with_options_and_source(tmp_path):
     assert source_fingerprint("netlist", str(net)) != fp1
 
 
+def test_expand_cssg_method_axis():
+    spec = CampaignSpec(
+        benchmarks=["dff"],
+        fault_models=("input",),
+        cssg_methods=("hybrid", "symbolic"),
+        options=AtpgOptions(**FAST),
+    )
+    jobs = expand(spec)
+    assert len(jobs) == 2
+    assert len({j.key for j in jobs}) == 2  # cached results stay distinct
+    assert {j.options.cssg_method for j in jobs} == {"hybrid", "symbolic"}
+    assert {j.name for j in jobs} == {
+        "dff[complex]/input/hybrid",
+        "dff[complex]/input/symbolic",
+    }
+    # The default (None) axis inherits the template's method and folds away.
+    inherit = expand(
+        CampaignSpec(
+            benchmarks=["dff"],
+            fault_models=("input",),
+            options=AtpgOptions(cssg_method="symbolic", **FAST),
+        )
+    )
+    assert len(inherit) == 1
+    assert inherit[0].options.cssg_method == "symbolic"
+
+
 def test_expand_rejects_unknown_benchmark():
     with pytest.raises(ReproError, match="unknown benchmark"):
         expand(CampaignSpec(benchmarks=["no-such-circuit"]))
@@ -347,6 +374,39 @@ def test_repro_campaign_cli_smoke(tmp_path, capsys):
     manifest = json.loads(capsys.readouterr().out)
     assert manifest["summary"]["n_ran"] == 0
     assert manifest["summary"]["n_cached"] == 4
+
+
+def test_repro_campaign_cli_method_axis(tmp_path, capsys):
+    args = [
+        "hazard", "--workers", "0", "--no-cache", "--quiet",
+        "--models", "input", "--random-walks", "1", "--walk-len", "1",
+        "--cssg-method", "hybrid,symbolic", "--json",
+        "--out", str(tmp_path / "art"),
+    ]
+    assert campaign_main(args) == 0
+    out = capsys.readouterr()
+    manifest = json.loads(out.out)
+    names = {j["name"] for j in manifest["jobs"]}
+    assert names == {
+        "hazard[complex]/input/hybrid",
+        "hazard[complex]/input/symbolic",
+    }
+    covs = {j["name"]: j["n_covered"] for j in manifest["jobs"]}
+    assert len(set(covs.values())) == 1  # methods agree on coverage
+    # One table row per method — the method is part of the variant key.
+    rows = manifest["rows"]
+    assert len(rows) == 2
+    by_method = {r["cssg_method"]: r for r in rows}
+    assert set(by_method) == {"hybrid", "symbolic"}
+    assert by_method["hybrid"]["in_cov"] == by_method["symbolic"]["in_cov"]
+    assert by_method["symbolic"]["tcsg_states"] > 0
+    csv_text = (tmp_path / "art" / "campaign.csv").read_text()
+    assert csv_text.count("hazard[complex]") == 2
+
+
+def test_repro_campaign_cli_rejects_unknown_method(capsys):
+    assert campaign_main(["dff", "--cssg-method", "magic"]) == 2
+    assert "unknown --cssg-method" in capsys.readouterr().err
 
 
 def test_repro_campaign_cli_unknown_benchmark(capsys):

@@ -89,6 +89,26 @@ def test_cssg_method_hybrid_is_accepted(capsys):
     assert "covered" in capsys.readouterr().out
 
 
+def test_cssg_method_symbolic_end_to_end_parity(capsys):
+    """`--cssg-method symbolic` runs the whole flow and produces the
+    same fault coverage (and per-fault verdicts) as the exact method."""
+    results = {}
+    for method in ("exact", "symbolic"):
+        assert main(["dff", "--json", "--seed", "3",
+                     "--cssg-method", method]) == 0
+        results[method] = json.loads(capsys.readouterr().out)
+    exact, symbolic = results["exact"], results["symbolic"]
+    assert symbolic["cssg"]["method"] == "symbolic"
+    assert symbolic["cssg"]["n_states"] == exact["cssg"]["n_states"]
+    assert symbolic["cssg"]["n_edges"] == exact["cssg"]["n_edges"]
+    assert symbolic["n_covered"] == exact["n_covered"]
+    assert symbolic["n_total"] == exact["n_total"]
+    strip = {"options", "cssg", "cpu_seconds"}
+    assert {k: v for k, v in symbolic.items() if k not in strip} == {
+        k: v for k, v in exact.items() if k not in strip
+    }
+
+
 def test_library_knob_flags(capsys):
     assert main(
         ["ebergen", "--collapse", "--compact", "--faulty-semantics", "ternary",

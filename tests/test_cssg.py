@@ -83,8 +83,65 @@ def test_max_input_changes_restricts_vectors(celem):
 
 
 def test_unknown_method_rejected(celem):
-    with pytest.raises(StateGraphError):
+    with pytest.raises(StateGraphError, match="unknown CSSG method"):
         build_cssg(celem, method="magic")
+
+
+def test_method_registry_builders(celem):
+    from repro.sgraph.cssg import CSSG_METHODS, CssgBuilder
+
+    assert set(CSSG_METHODS) == {"exact", "ternary", "hybrid", "symbolic"}
+    for name, builder in CSSG_METHODS.items():
+        assert builder.method == name
+        assert isinstance(builder, CssgBuilder)  # runtime protocol check
+    cssg = CSSG_METHODS["symbolic"].build(celem)
+    assert cssg.method == "symbolic"
+    assert cssg.states == build_cssg(celem, method="exact").states
+
+
+def test_build_records_method(celem):
+    for method in ("exact", "ternary", "hybrid", "symbolic"):
+        assert build_cssg(celem, method=method).method == method
+
+
+def test_cap_states_enforced_by_every_method():
+    from repro.benchmarks_data import load_benchmark
+
+    circuit = load_benchmark("dff", "complex")  # 6 stable states
+    for method in ("exact", "ternary", "hybrid", "symbolic"):
+        with pytest.raises(StateGraphError, match="exceeded 3 stable states"):
+            build_cssg(circuit, method=method, cap_states=3)
+
+
+def test_custom_builder_registration(celem):
+    """The registry is open: a custom CssgBuilder plugs into build_cssg."""
+    from repro.sgraph.cssg import CSSG_METHODS
+
+    class Wrapped:
+        method = "wrapped-exact"
+
+        def build(self, circuit, **kwargs):
+            cssg = CSSG_METHODS["exact"].build(circuit, **kwargs)
+            cssg.stats.method = self.method
+            return cssg
+
+    CSSG_METHODS["wrapped-exact"] = Wrapped()
+    try:
+        cssg = build_cssg(celem, method="wrapped-exact")
+        assert cssg.method == "wrapped-exact"
+        assert cssg.states == build_cssg(celem, method="exact").states
+    finally:
+        del CSSG_METHODS["wrapped-exact"]
+
+
+def test_auto_resolution_picks_symbolic_for_large_state_spaces(celem):
+    from repro.core.atpg import AtpgOptions, resolve_cssg_method
+
+    assert resolve_cssg_method(celem, AtpgOptions()) == "hybrid"
+    tiny_limit = AtpgOptions(auto_exact_limit=celem.n_signals - 1)
+    assert resolve_cssg_method(celem, tiny_limit) == "symbolic"
+    explicit = AtpgOptions(cssg_method="ternary")
+    assert resolve_cssg_method(celem, explicit) == "ternary"
 
 
 def test_missing_reset_rejected():

@@ -88,6 +88,40 @@ def test_classifier_never_flags_detectable_faults(celem):
         assert cls.verdict == POSSIBLY_DETECTABLE, fault.describe(celem)
 
 
+def test_never_excited_symbolic_at_most_explicit():
+    """The symbolic check runs over the TCSG stable set — a superset of
+    the CSSG states — so it may only be *stricter* than the explicit
+    walk: anything it calls never-excited, the explicit walk must too."""
+    from repro.ext.undetectable import _never_excited, _never_excited_symbolic
+    from repro.sgraph.symbolic import SymbolicTcsg
+
+    for name in ("ebergen", "converta", "dff"):
+        circuit = load_benchmark(name, "complex")
+        cssg = build_cssg(circuit)
+        sym = SymbolicTcsg(circuit)
+        stable_reach = sym.mgr.add_root(
+            sym.stable_reachable(sym.state_bdd(cssg.reset))
+        )
+        for fault in input_fault_universe(circuit):
+            if _never_excited_symbolic(sym, stable_reach, fault):
+                assert _never_excited(cssg, fault), (name, fault)
+
+
+def test_classifier_symbolic_and_explicit_agree_on_verdict_partition():
+    """Both never-excited backends feed the same downstream logic; the
+    final undetectable-vs-possible partition must not differ on the
+    bundled redundant circuit."""
+    circuit = load_benchmark("converta", "complex")
+    cssg = build_cssg(circuit)
+    faults = input_fault_universe(circuit)
+    with_symbolic = classify_undetectable(cssg, faults)
+    explicit = classify_undetectable(cssg, faults, use_symbolic=False)
+    for fault in faults:
+        a = with_symbolic[fault].verdict == POSSIBLY_DETECTABLE
+        b = explicit[fault].verdict == POSSIBLY_DETECTABLE
+        assert a == b, fault.describe(circuit)
+
+
 # -- path enumeration ---------------------------------------------------------
 
 def test_paths_on_celem(celem):

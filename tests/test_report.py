@@ -53,10 +53,39 @@ def test_to_csv_layout():
     lines = to_csv(rows).splitlines()
     assert lines[0] == (
         "name,out_tot,out_cov,out_fc,in_tot,in_cov,in_fc,"
-        "rnd,three_ph,sim,cpu,aborted,abort_reasons"
+        "rnd,three_ph,sim,cpu,aborted,abort_reasons,"
+        "cssg_method,cssg_states,cssg_edges,tcsg_states,"
+        "peak_bdd_nodes,gc_passes,reorders,image_iters"
     )
     assert lines[1].startswith("alpha,10,10,1.0,20,18,0.9,9,6,3,1.25")
     assert len(lines) == 3
+
+
+def test_row_carries_cssg_and_symbolic_columns():
+    """The paper-table state counts and kernel stats reach the CSV/JSON
+    rows when the CSSG was built symbolically."""
+    circuit = load_benchmark("hazard", "complex")
+    options = AtpgOptions(fault_model="input", seed=1, cssg_method="symbolic")
+    from repro.flow import Flow
+
+    in_res = Flow.default().run(circuit, options)
+    row = result_row("hazard", None, in_res)
+    assert row.cssg_method == "symbolic"
+    assert row.cssg_states == in_res.cssg.n_states
+    assert row.cssg_edges == in_res.cssg.n_edges
+    assert row.tcsg_states > 0
+    assert row.peak_bdd_nodes > 0
+    assert row.image_iters > 0
+    data = row.to_dict()
+    for key in ("cssg_method", "cssg_states", "tcsg_states", "peak_bdd_nodes"):
+        assert key in data
+    # An explicit construction reports its method with zeroed kernel stats.
+    exact = Flow.default().run(
+        circuit, AtpgOptions(fault_model="input", seed=1, cssg_method="exact")
+    )
+    row2 = result_row("hazard", None, exact)
+    assert row2.cssg_method == "exact"
+    assert row2.peak_bdd_nodes == 0 and row2.tcsg_states == 0
 
 
 def test_to_json_round_trips_rows():

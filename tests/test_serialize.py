@@ -49,7 +49,28 @@ def test_fault_status_reason_round_trip():
         status = FaultStatus(Fault("input", 3, 1, 0), "aborted", reason=reason)
         back = FaultStatus.from_json_dict(status.to_json_dict())
         assert back == status and back.reason == reason
-    assert RESULT_SCHEMA_VERSION == 2
+    assert RESULT_SCHEMA_VERSION == 3
+
+
+def test_cssg_block_round_trips_symbolic_facts():
+    """Schema v3: the resolved method and the symbolic-kernel facts
+    survive serialization into the CssgSummary."""
+    from repro.flow import Flow
+
+    circuit = load_benchmark("hazard", "complex")
+    result = Flow.default().run(
+        circuit, AtpgOptions(seed=1, cssg_method="symbolic")
+    )
+    data = result.to_json_dict()
+    block = data["cssg"]
+    assert block["method"] == "symbolic"
+    assert block["n_tcsg_states"] > 0
+    assert block["peak_bdd_nodes"] > 0
+    assert block["n_image_iterations"] > 0
+    back = AtpgResult.from_json_dict(data, circuit)
+    assert back.cssg.method == "symbolic"
+    assert back.cssg.n_tcsg_states == block["n_tcsg_states"]
+    assert back.to_json_dict() == data
 
 
 def test_aborted_result_round_trips_reasons():
@@ -103,6 +124,12 @@ def test_result_round_trip_equality(ebergen_result):
         reset=result.cssg.reset,
         n_states=result.cssg.n_states,
         n_edges=result.cssg.n_edges,
+        method=result.cssg.method,
+        n_tcsg_states=result.cssg.n_tcsg_states,
+        peak_bdd_nodes=result.cssg.peak_bdd_nodes,
+        n_gc_passes=result.cssg.n_gc_passes,
+        n_reorders=result.cssg.n_reorders,
+        n_image_iterations=result.cssg.n_image_iterations,
     )
     assert back.summary() == result.summary()
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.benchmarks_data import load_benchmark
+from repro.benchmarks_data import TABLE1_NAMES, load_benchmark
 from repro.sgraph.cssg import build_cssg
 from repro.sgraph.explore import settle_report
 from repro.sgraph.symbolic import SymbolicTcsg
@@ -36,9 +36,7 @@ def test_gate_functions_compile(celem):
     sym = SymbolicTcsg(celem)
     c = next(g for g in celem.gates if g.name == "c")
     for state in range(1 << celem.n_signals):
-        assignment = [0] * (2 * celem.n_signals)
-        for i in range(celem.n_signals):
-            assignment[2 * i] = (state >> i) & 1
+        assignment = [(state >> i) & 1 for i in range(celem.n_signals)]
         assert sym.mgr.eval(sym.gate_fn[c.index], assignment) == celem.gate_eval(
             c, state
         )
@@ -82,14 +80,38 @@ def test_k_step_outcome_matches_settle_report(celem):
                 assert succ == report.unique_stable
 
 
-@pytest.mark.parametrize("name", ["hazard", "vbe5b", "rcv-setup", "dff"])
-def test_symbolic_cssg_equals_explicit_on_benchmarks(name):
+@pytest.mark.parametrize("name", TABLE1_NAMES)
+def test_symbolic_cssg_equals_explicit_on_all_table1_benchmarks(name):
+    """The acceptance bar: result-identical (states, edges, reset) to the
+    explicit exact builder on the whole Table-1 corpus."""
     circuit = load_benchmark(name, "complex")
     explicit = build_cssg(circuit, method="exact")
-    symbolic = SymbolicTcsg(circuit).build_cssg()
+    symbolic = build_cssg(circuit, method="symbolic")
+    assert symbolic.reset == explicit.reset
     assert symbolic.states == explicit.states
     assert symbolic.edges == explicit.edges
     assert symbolic.k == explicit.k
+
+
+def test_symbolic_method_fills_kernel_stats():
+    circuit = load_benchmark("dff", "complex")
+    cssg = build_cssg(circuit, method="symbolic")
+    stats = cssg.stats
+    assert cssg.method == "symbolic"
+    assert stats.n_tcsg_states >= cssg.n_states  # TCSG ⊇ CSSG nodes
+    assert stats.peak_bdd_nodes > 0
+    assert stats.n_image_iterations > 0
+    assert stats.n_vectors_tried >= stats.n_valid > 0
+
+
+def test_symbolic_respects_max_input_changes():
+    circuit = load_benchmark("dff", "complex")
+    explicit = build_cssg(circuit, method="exact", max_input_changes=1)
+    symbolic = build_cssg(circuit, method="symbolic", max_input_changes=1)
+    assert symbolic.states == explicit.states
+    assert symbolic.edges == explicit.edges
+    full = build_cssg(circuit, method="symbolic")
+    assert symbolic.n_edges <= full.n_edges
 
 
 def test_symbolic_cssg_equals_explicit_on_celem(celem):

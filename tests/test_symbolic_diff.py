@@ -1,0 +1,126 @@
+"""Differential harness: explicit vs symbolic CSSG on random netlists.
+
+The 23 bundled benchmarks are well-behaved SI circuits; this harness
+feeds both builders seeded *random* feedback netlists — racy, oscillating
+and non-confluent behaviour included — and asserts exact agreement of
+states, edges and reset.  A second battery squeezes the symbolic build
+through a tiny GC threshold to prove collection never changes results.
+"""
+
+import random
+
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.sgraph.cssg import build_cssg
+from repro.sgraph.symbolic import SymbolicTcsg
+
+N_SEEDS = 40
+_OPS = ("&", "|", "^")
+
+
+def _random_expr(rng: random.Random, names, depth: int) -> str:
+    if depth <= 0 or (len(names) > 1 and rng.random() < 0.35):
+        name = rng.choice(names)
+        return f"~{name}" if rng.random() < 0.4 else name
+    a = _random_expr(rng, names, depth - 1)
+    b = _random_expr(rng, names, depth - 1)
+    return f"({a} {rng.choice(_OPS)} {b})"
+
+
+def _build(rng: random.Random, reset_bits=None):
+    """One random buffered feedback netlist; reset optionally forced."""
+    n_inputs = rng.randint(1, 3)
+    n_gates = rng.randint(2, 4)
+    c = Circuit(f"rand-{rng.getstate()[1][0] & 0xffff:x}")
+    sigs = []
+    for i in range(n_inputs):
+        c.add_input(f"I{i}")
+    for i in range(n_inputs):
+        c.add_gate(f"b{i}", gtype="BUF", inputs=[f"I{i}"])
+        sigs.append(f"b{i}")
+    for j in range(n_gates):
+        name = f"g{j}"
+        # Self- and forward-feedback allowed: racy circuits are the point.
+        pool = sigs + [name]
+        c.add_gate(name, expr=_random_expr(rng, pool, rng.randint(1, 3)))
+        sigs.append(name)
+    c.mark_output(sigs[-1])
+    if reset_bits is not None:
+        names = [f"I{i}" for i in range(n_inputs)] + sigs
+        c.set_reset({n: (reset_bits >> i) & 1 for i, n in enumerate(names)})
+    return c.finalize()
+
+
+def random_circuit(seed: int):
+    """A random netlist with a *stable* reset, or None for this seed."""
+    probe = _build(random.Random(seed))
+    stable = probe.enumerate_stable_states()
+    if not stable:
+        return None
+    # Deterministic choice among stable states, rebuilt with that reset.
+    pick = stable[random.Random(seed ^ 0x5EED).randrange(len(stable))]
+    return _build(random.Random(seed), reset_bits=pick)
+
+
+def _agree(circuit, **symbolic_kwargs):
+    explicit = build_cssg(circuit, method="exact")
+    symbolic = SymbolicTcsg(circuit, **symbolic_kwargs).build_cssg()
+    assert symbolic.reset == explicit.reset
+    assert symbolic.states == explicit.states
+    assert symbolic.edges == explicit.edges
+    return explicit
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_random_netlists_explicit_equals_symbolic(seed):
+    circuit = random_circuit(seed)
+    if circuit is None:
+        pytest.skip("no stable state for this seed")
+    _agree(circuit)
+
+
+def test_harness_is_not_vacuous():
+    """The seed range must actually produce circuits, and some with
+    non-trivial graphs — otherwise the battery above proves nothing."""
+    built = [c for c in (random_circuit(s) for s in range(N_SEEDS)) if c]
+    assert len(built) >= N_SEEDS // 2
+    graphs = [build_cssg(c, method="exact") for c in built]
+    assert any(g.n_states > 1 for g in graphs)
+    assert any(g.n_edges > 2 for g in graphs)
+    # ...and some pruning happened somewhere (invalid vectors exist).
+    assert any(g.stats.n_valid < g.stats.n_vectors_tried for g in graphs)
+
+
+@pytest.mark.parametrize("seed", [1, 3, 7, 11])
+def test_symbolic_under_gc_pressure_matches_explicit(seed):
+    """A tiny GC threshold forces collections mid-construction; results
+    must not change and collections must actually have happened."""
+    circuit = random_circuit(seed)
+    if circuit is None:
+        pytest.skip("no stable state for this seed")
+    sym = SymbolicTcsg(circuit, auto_gc_nodes=40)
+    cssg = sym.build_cssg()
+    explicit = build_cssg(circuit, method="exact")
+    assert cssg.states == explicit.states
+    assert cssg.edges == explicit.edges
+    assert cssg.stats.n_gc_passes >= 1
+    # After a final collect, the live set is just the registered roots.
+    before = sym.mgr.n_nodes
+    sym.mgr.collect()
+    assert sym.mgr.n_nodes <= before
+
+
+def test_gc_pressure_on_benchmark_matches_default():
+    """The largest Table-1 benchmark under a small threshold: bounded
+    peak, several collections, identical graph."""
+    from repro.benchmarks_data import load_benchmark
+
+    circuit = load_benchmark("vbe10b", "complex")
+    relaxed = SymbolicTcsg(circuit)
+    pressured = SymbolicTcsg(circuit, auto_gc_nodes=2_000)
+    a = relaxed.build_cssg()
+    b = pressured.build_cssg()
+    assert a.states == b.states and a.edges == b.edges
+    assert b.stats.n_gc_passes > a.stats.n_gc_passes
+    assert b.stats.peak_bdd_nodes <= a.stats.peak_bdd_nodes
