@@ -7,7 +7,10 @@ Circuits", DAC 1997.
 Public API quick map:
 
 * circuits — :class:`Circuit`, :func:`parse_netlist`, :func:`load_netlist`
-* faults — :class:`Fault`, :func:`fault_universe`
+* faults — :class:`Fault`, :func:`fault_universe`, and the fault-model
+  registry (:class:`FaultModel`, :func:`get_model`, :func:`model_names`,
+  :func:`register_model`): ``input`` / ``output`` stuck-at, ``bridging``
+  wired-AND/OR shorts, ``transition`` slow-to-rise/fall
 * simulation — :mod:`repro.sim` (ternary + parallel fault simulation)
 * state graphs — :func:`settle_report`, :func:`build_cssg` (with the
   :class:`CssgBuilder` method registry: exact / ternary / hybrid /
@@ -41,6 +44,13 @@ from repro.circuit import (
     output_fault_universe,
     parse_expr,
     parse_netlist,
+)
+from repro.faultmodels import (
+    FaultModel,
+    get_model,
+    model_for_kind,
+    model_names,
+    register_model,
 )
 from repro.core import (
     AtpgEngine,
@@ -107,7 +117,12 @@ __all__ = [
     "Circuit",
     "Expr",
     "Fault",
+    "FaultModel",
     "fault_universe",
+    "get_model",
+    "model_for_kind",
+    "model_names",
+    "register_model",
     "input_fault_universe",
     "output_fault_universe",
     "parse_expr",

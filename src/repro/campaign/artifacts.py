@@ -20,7 +20,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.plan import CODE_VERSION, CampaignSpec
 from repro.campaign.runner import CampaignReport, JobOutcome
-from repro.core.report import TableRow, format_table, to_csv, to_json
+from repro.core.report import (
+    TableRow,
+    format_model_counts,
+    format_table,
+    to_csv,
+    to_json,
+)
 
 #: Version of the ``campaign.json`` manifest layout.
 ARTIFACT_SCHEMA_VERSION = 1
@@ -34,13 +40,26 @@ def _row_name(outcome: JobOutcome) -> str:
 
 
 def row_from_payloads(
-    name: str, out_payload: Optional[Dict], in_payload: Optional[Dict]
+    name: str,
+    out_payload: Optional[Dict],
+    in_payload: Optional[Dict],
+    extra_payloads: Optional[Dict[str, Dict]] = None,
 ) -> TableRow:
-    """One table row from the serialized results of the two model runs
-    (either may be absent when the campaign ran a single model).  The
-    stored ``n_total`` / ``n_covered`` fields are authoritative — the
-    coverage arithmetic lives in :class:`AtpgResult`, not here."""
-    cssg = (in_payload or out_payload or {}).get("cssg", {})
+    """One table row from the serialized results of a variant's
+    fault-model runs (any may be absent).  The two stuck-at runs keep
+    their historical dedicated columns; other registered models
+    (``extra_payloads``, keyed by model name) fold into the compact
+    ``models`` column.  The stored ``n_total`` / ``n_covered`` fields
+    are authoritative — the coverage arithmetic lives in
+    :class:`AtpgResult`, not here."""
+    extras = extra_payloads or {}
+    anchor = in_payload or out_payload
+    if anchor is None and extras:
+        anchor = next(iter(extras.values()))
+    cssg = (anchor or {}).get("cssg", {})
+    models = format_model_counts(
+        {m: (p["n_covered"], p["n_total"]) for m, p in extras.items()}
+    )
     return TableRow(
         name=name,
         out_tot=out_payload["n_total"] if out_payload else 0,
@@ -51,7 +70,8 @@ def row_from_payloads(
         three_ph=in_payload["n_three_phase"] if in_payload else 0,
         sim=in_payload["n_fault_sim"] if in_payload else 0,
         cpu=(out_payload["cpu_seconds"] if out_payload else 0.0)
-        + (in_payload["cpu_seconds"] if in_payload else 0.0),
+        + (in_payload["cpu_seconds"] if in_payload else 0.0)
+        + sum(p["cpu_seconds"] for p in extras.values()),
         cssg_method=cssg.get("method", ""),
         cssg_states=cssg.get("n_states", 0),
         cssg_edges=cssg.get("n_edges", 0),
@@ -60,6 +80,7 @@ def row_from_payloads(
         gc_passes=cssg.get("n_gc_passes", 0),
         reorders=cssg.get("n_reorders", 0),
         image_iters=cssg.get("n_image_iterations", 0),
+        models=models,
     )
 
 
@@ -85,7 +106,14 @@ def rows_from_outcomes(outcomes: Sequence[JobOutcome]) -> List[TableRow]:
         variants[variant][job.fault_model] = outcome.payload
     return [
         row_from_payloads(
-            names[v], variants[v].get("output"), variants[v].get("input")
+            names[v],
+            variants[v].get("output"),
+            variants[v].get("input"),
+            {
+                m: p
+                for m, p in variants[v].items()
+                if m not in ("output", "input")
+            },
         )
         for v in order
     ]

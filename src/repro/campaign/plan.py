@@ -39,7 +39,11 @@ from repro.flow import DEFAULT_STAGE_NAMES
 #: Part of every job key, so a bump invalidates the whole cache at once.
 #: "2": the symbolic-kernel rewrite — ``cssg_method="auto"`` now
 #: resolves to "symbolic" (not "ternary") above the exact limit.
-CODE_VERSION = "2"
+#: "3": the fault-model registry — ``fault_model`` now names a
+#: registered model (``bridging`` / ``transition`` joined the stuck-at
+#: pair), and transition-aware collapsing changed the collapse
+#: signature space.
+CODE_VERSION = "3"
 
 
 @dataclass(frozen=True)
@@ -70,6 +74,17 @@ class CampaignSpec:
     ``.net`` netlists (recognized by a path separator or a ``.net``
     suffix).  ``options`` is the template every job inherits; each job
     overrides its ``fault_model``, ``seed`` and ``k`` from the axes.
+
+    ``fault_models`` accepts any name registered in
+    :mod:`repro.faultmodels` (``input`` / ``output`` / ``bridging`` /
+    ``transition``); :func:`expand` validates the names up front, and
+    each model lands in the job's content key, so e.g. a bridging run
+    and a transition run of the same circuit cache independently.
+
+    >>> spec = CampaignSpec(benchmarks=["dff"], seeds=(0, 1),
+    ...                     fault_models=("input", "bridging"))
+    >>> len(expand(spec))   # 1 benchmark x 1 style x 2 models x 2 seeds
+    4
     """
 
     benchmarks: Sequence[str] = TABLE1_NAMES
@@ -195,6 +210,10 @@ def expand(spec: CampaignSpec) -> List[Job]:
     Unknown benchmark names and missing netlist files fail here, before
     any worker starts, with a :class:`ReproError` naming the entry.
     """
+    from repro.faultmodels import get_model
+
+    for model in spec.fault_models:
+        get_model(model)  # unknown names fail here, before any worker
     jobs: List[Job] = []
     seen: Dict[str, Job] = {}
     for entry in spec.benchmarks:

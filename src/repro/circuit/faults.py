@@ -1,18 +1,26 @@
-"""Stuck-at fault models (paper §1, §5, §6).
+"""The :class:`Fault` record and registry-backed universe entry points.
 
-Two universes:
+A fault is four ints/strings — ``(kind, gate, site, value)`` — whose
+*meaning* is owned by the fault model registered for ``kind`` in
+:mod:`repro.faultmodels`:
 
-* **output stuck-at** — every gate output (including the primary-input
-  buffer gates) stuck at 0 and at 1.  Modeled by replacing the gate's
-  function with a constant; after the forced reset state settles, the
-  node holds the stuck value permanently.
-* **input stuck-at** — every gate input *pin* stuck at 0 and at 1, where a
-  pin is a (gate, source-signal) pair in the gate's support (feedback
-  inputs included).  Modeled by forcing the source value to a constant
-  inside that single gate's evaluation; other readers of the same wire
-  see the true value.  This universe subsumes the output universe on
-  single-fanout nets, matching the paper's remark that "the input
-  stuck-at fault model includes all output stuck-at faults".
+* ``input`` stuck-at — ``gate`` is the affected gate's output signal,
+  ``site`` the source signal feeding the stuck pin, ``value`` the stuck
+  constant (paper §1, §5, §6);
+* ``output`` stuck-at — ``gate == site`` is the stuck signal;
+* ``bridging`` — ``gate < site`` are the two shorted nets, ``value``
+  selects wired-AND (0) / wired-OR (1);
+* ``transition`` — ``gate == site`` is the slow signal, ``value`` the
+  transition's destination (1 = slow-to-rise, 0 = slow-to-fall).
+
+This module stays the stable import surface the rest of the package
+(and external callers) use: :func:`fault_universe` dispatches through
+the registry and raises :class:`~repro.errors.ReproError` naming the
+registered models for unknown names; ``input_fault_universe`` /
+``output_fault_universe`` and :func:`materialize_fault` keep their
+historical signatures.  The model *semantics* live in
+:mod:`repro.faultmodels` (imported lazily, so ``repro.circuit`` keeps
+loading first).
 """
 
 from __future__ import annotations
@@ -25,13 +33,9 @@ from repro.circuit.netlist import Circuit, Gate
 
 @dataclass(frozen=True, order=True)
 class Fault:
-    """A single stuck-at fault.
-
-    ``kind`` is ``"input"`` or ``"output"``.  For input faults ``gate`` is
-    the index of the affected gate's output signal and ``site`` the source
-    signal feeding the stuck pin.  For output faults ``gate == site`` is
-    the stuck signal itself.  ``value`` is the stuck constant.
-    """
+    """One fault record; see the module docstring for the per-kind
+    field meaning.  Hashable and totally ordered, so fault sets,
+    ledgers and cache keys are deterministic."""
 
     kind: str
     gate: int
@@ -39,17 +43,16 @@ class Fault:
     value: int
 
     def describe(self, circuit: Circuit) -> str:
-        """Human-readable fault name, e.g. ``y<-a SA0`` or ``y SA1``."""
-        if self.kind == "input":
-            return (
-                f"{circuit.signal_name(self.gate)}<-"
-                f"{circuit.signal_name(self.site)} SA{self.value}"
-            )
-        return f"{circuit.signal_name(self.site)} SA{self.value}"
+        """Human-readable fault name, e.g. ``y<-a SA0``, ``y SA1``,
+        ``a~b wired-AND`` or ``y STR``."""
+        from repro.faultmodels import model_for_kind
+
+        return model_for_kind(self.kind).describe(circuit, self)
 
     def excitation_site(self) -> int:
-        """The signal whose stable value must differ from the stuck value
-        for the fault to be *excited* (paper §5.1)."""
+        """The signal whose stable value matters for excitation
+        (paper §5.1).  Meaningful for the stuck-at kinds; model-aware
+        callers should use :meth:`FaultModel.excites` instead."""
         return self.site
 
     def to_json(self) -> List:
@@ -64,42 +67,44 @@ class Fault:
 
 def input_fault_universe(circuit: Circuit) -> List[Fault]:
     """All single input stuck-at faults: two per gate input pin."""
-    faults: List[Fault] = []
-    for gate in circuit.gates:
-        for src in gate.support:
-            for value in (0, 1):
-                faults.append(Fault("input", gate.index, src, value))
-    return faults
+    from repro.faultmodels import INPUT_STUCK_AT
+
+    return INPUT_STUCK_AT.universe(circuit)
 
 
 def output_fault_universe(circuit: Circuit) -> List[Fault]:
     """All single output stuck-at faults: two per gate output."""
-    faults: List[Fault] = []
-    for gate in circuit.gates:
-        for value in (0, 1):
-            faults.append(Fault("output", gate.index, gate.index, value))
-    return faults
+    from repro.faultmodels import OUTPUT_STUCK_AT
+
+    return OUTPUT_STUCK_AT.universe(circuit)
 
 
 def fault_universe(circuit: Circuit, model: str) -> List[Fault]:
-    """Universe for ``model`` in {"input", "output"}."""
-    if model == "input":
-        return input_fault_universe(circuit)
-    if model == "output":
-        return output_fault_universe(circuit)
-    raise ValueError(f"unknown fault model {model!r}")
+    """The universe of the registered fault model named ``model``.
+
+    Raises :class:`~repro.errors.ReproError` listing the registered
+    models for an unknown name — the CLIs surface it as exit status 1.
+
+    >>> from repro.benchmarks_data import load_benchmark
+    >>> c = load_benchmark("dff")
+    >>> {m: len(fault_universe(c, m))
+    ...  for m in ("input", "output", "bridging", "transition")}
+    {'input': 10, 'output': 6, 'bridging': 6, 'transition': 6}
+    """
+    from repro.faultmodels import get_model
+
+    return get_model(model).universe(circuit)
 
 
 def gate_of(circuit: Circuit, fault: Fault) -> Optional[Gate]:
-    """The Gate object whose evaluation the fault perturbs."""
-    for gate in circuit.gates:
-        if gate.index == fault.gate:
-            return gate
-    return None
+    """The Gate object whose evaluation the fault perturbs (the first
+    one, for bridging faults)."""
+    return circuit.gate_at(fault.gate)
 
 
-def _substitute(expr, name: str, value: int):
-    """Replace every occurrence of Var(name) in ``expr`` by Const(value)."""
+def substitute_signal(expr, name: str, value: int):
+    """Replace every occurrence of Var(name) in ``expr`` by Const(value)
+    — the input stuck-at cofactor, also useful for model authors."""
     from repro.circuit.expr import And, Const, Not, Or, Var, Xor
 
     if isinstance(expr, Var):
@@ -107,50 +112,30 @@ def _substitute(expr, name: str, value: int):
     if isinstance(expr, Const):
         return expr
     if isinstance(expr, Not):
-        return Not(_substitute(expr.arg, name, value))
+        return Not(substitute_signal(expr.arg, name, value))
     if isinstance(expr, And):
-        return And(tuple(_substitute(a, name, value) for a in expr.args))
+        return And(tuple(substitute_signal(a, name, value) for a in expr.args))
     if isinstance(expr, Or):
-        return Or(tuple(_substitute(a, name, value) for a in expr.args))
+        return Or(tuple(substitute_signal(a, name, value) for a in expr.args))
     if isinstance(expr, Xor):
-        return Xor(_substitute(expr.a, name, value), _substitute(expr.b, name, value))
+        return Xor(
+            substitute_signal(expr.a, name, value),
+            substitute_signal(expr.b, name, value),
+        )
     raise TypeError(f"unknown expression node {expr!r}")
 
 
+#: Backwards-compatible alias (pre-registry private name).
+_substitute = substitute_signal
+
+
 def materialize_fault(circuit: Circuit, fault: Fault) -> Circuit:
-    """Build the faulty circuit as a real netlist.
+    """Build the faulty circuit as a real netlist, dispatching to the
+    fault's model.  The signal order, outputs and ``k`` are preserved,
+    so states of the two circuits are directly comparable — this
+    enables *exact* faulty-machine simulation with the same settling
+    explorer used for the good circuit, avoiding the conservatism of
+    ternary simulation."""
+    from repro.faultmodels import model_for_kind
 
-    * input pin fault — the faulted gate's expression reads a constant in
-      place of the stuck source signal;
-    * output fault — the gate's function becomes the constant, and the
-      reset state pre-sets the node to its stuck value (the node never
-      held the fault-free reset value).
-
-    The signal order, outputs and ``k`` are preserved, so states of the
-    two circuits are directly comparable.  This enables *exact* faulty-
-    machine simulation with the same settling explorer used for the good
-    circuit, avoiding the conservatism of ternary simulation.
-    """
-    from repro._bits import bit
-    from repro.circuit.expr import Const
-
-    faulty = Circuit(f"{circuit.name}#{fault.kind}-{fault.gate}-{fault.site}-{fault.value}")
-    for name in circuit.input_names:
-        faulty.add_input(name)
-    for gate in circuit.gates:
-        if fault.kind == "output" and gate.index == fault.gate:
-            faulty.add_gate(gate.name, expr=Const(fault.value))
-        elif fault.kind == "input" and gate.index == fault.gate:
-            site_name = circuit.signal_name(fault.site)
-            faulty.add_gate(gate.name, expr=_substitute(gate.expr, site_name, fault.value))
-        else:
-            faulty.add_gate(gate.name, expr=gate.expr)
-    for name in circuit.output_names:
-        faulty.mark_output(name)
-    if circuit.reset_state is not None:
-        reset = {s.name: bit(circuit.reset_state, s.index) for s in circuit.signals}
-        if fault.kind == "output":
-            reset[circuit.signal_name(fault.site)] = fault.value
-        faulty.set_reset(reset)
-    faulty.set_k(circuit.k)
-    return faulty.finalize()
+    return model_for_kind(fault.kind).materialize(circuit, fault)

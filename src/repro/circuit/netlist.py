@@ -286,6 +286,15 @@ class Circuit:
         except KeyError:
             raise NetlistError(f"unknown signal {name!r}") from None
 
+    def gate_at(self, index: int) -> Optional[Gate]:
+        """The gate driving signal ``index``, or None for primary-input
+        wires.  O(1): gates occupy indices ``n_inputs..n_signals-1`` in
+        declaration order."""
+        pos = index - self.n_inputs
+        if 0 <= pos < len(self.gates):
+            return self.gates[pos]
+        return None
+
     def signal_name(self, i: int) -> str:
         return self.signals[i].name
 

@@ -5,6 +5,8 @@ Examples::
     repro-atpg --list                    # show bundled benchmarks
     repro-atpg ebergen                   # ATPG on a bundled benchmark
     repro-atpg ebergen --style two-level --model output
+    repro-atpg ebergen --model bridging         # wired-AND/OR net shorts
+    repro-atpg ebergen --model transition       # slow-to-rise/fall
     repro-atpg ebergen --cssg-method symbolic   # BDD-based construction
     repro-atpg path/to/circuit.net --show-tests
     repro-atpg converta --json           # one result as a JSON object
@@ -17,6 +19,7 @@ Examples::
     repro-campaign --table2 --workers 4 --out out/table2
     repro-campaign dff chu150 --seeds 0,1,2 --no-cache
     repro-campaign dff --cssg-method hybrid,symbolic   # method axis
+    repro-campaign --models output,input,bridging,transition
     repro-atpg --campaign --table2       # alias for repro-campaign
 
 ``python -m repro.cli`` behaves like ``repro-atpg``.
@@ -33,6 +36,7 @@ from repro.benchmarks_data import benchmark_names, load_benchmark
 from repro.circuit.parser import load_netlist
 from repro.core.atpg import AtpgOptions
 from repro.errors import ReproError
+from repro.faultmodels import model_names
 from repro.flow import Flow, ProgressLine, TraceWriter
 from repro.sgraph.cssg import CSSG_METHODS
 
@@ -64,8 +68,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--model",
         default="input",
-        choices=["input", "output"],
-        help="stuck-at fault model",
+        metavar="MODEL",
+        help=(
+            "fault model to run: one of "
+            f"{', '.join(model_names())} (default: input). "
+            "An unknown name exits 1 listing the registered models."
+        ),
     )
     parser.add_argument("--seed", type=int, default=0, help="random TPG seed")
     parser.add_argument("--k", type=int, default=None, help="test-cycle bound k")
@@ -143,6 +151,9 @@ def main(argv=None) -> int:
         print("error: give a benchmark name or .net path (or --list)", file=sys.stderr)
         return 2
     try:
+        from repro.faultmodels import get_model
+
+        get_model(args.model)  # unknown fault model: exit 1 with the list
         path = Path(args.circuit)
         if args.circuit in benchmark_names():
             circuit = load_benchmark(args.circuit, style=args.style)
@@ -247,7 +258,10 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--models",
         default="output,input",
-        help="comma list of fault models to run (default: output,input)",
+        help=(
+            "comma list of fault models to run, each a registered model "
+            f"({', '.join(model_names())}); default: output,input"
+        ),
     )
     parser.add_argument(
         "--seeds", default="0", help="comma list of random-TPG seeds (default: 0)"

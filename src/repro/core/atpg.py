@@ -36,15 +36,35 @@ from repro.sgraph.cssg import Cssg, build_cssg
 #: fault aborted) and the ``deadline_seconds`` / ``compact`` options.
 #: Version 3 added the resolved CSSG construction method and the
 #: symbolic-kernel facts (TCSG state count, peak BDD nodes, GC passes,
-#: image iterations) to the ``cssg`` block.
-RESULT_SCHEMA_VERSION = 3
+#: image iterations) to the ``cssg`` block.  Version 4 admits the
+#: registry fault kinds (``bridging`` / ``transition``) in the
+#: ``faults`` / ``statuses`` / ``tests`` arrays — same ``[kind, gate,
+#: site, value]`` element shape, new ``kind`` vocabulary — so caches
+#: written by stuck-at-only readers are never asked to hold records
+#: they cannot interpret.
+RESULT_SCHEMA_VERSION = 4
 
 
 @dataclass
 class AtpgOptions:
-    """Tuning knobs for the full flow (paper defaults where stated)."""
+    """Tuning knobs for the full flow (paper defaults where stated).
 
-    fault_model: str = "input"  # "input" or "output" stuck-at
+    ``AtpgOptions()`` is a valid everyday configuration; every field
+    has the paper's (or the implementation's calibrated) default.  The
+    dataclass doubles as the campaign cache key — any field change
+    yields a different :func:`repro.campaign.plan.job_key` — and
+    round-trips through :meth:`to_json_dict` / :meth:`from_json_dict`.
+
+    >>> opts = AtpgOptions(fault_model="transition", seed=3)
+    >>> AtpgOptions.from_json_dict(opts.to_json_dict()) == opts
+    True
+    """
+
+    #: Fault universe to run: any name registered in
+    #: :mod:`repro.faultmodels` — ``"input"`` / ``"output"`` stuck-at
+    #: (the paper's models), ``"bridging"`` (wired-AND/OR shorts of
+    #: adjacent nets), or ``"transition"`` (slow-to-rise/fall).
+    fault_model: str = "input"
     k: Optional[int] = None  # test-cycle transition bound (None: circuit.k)
     max_input_changes: Optional[int] = None  # None = any subset may switch
     # CSSG validity analysis: "exact" (formal TCR_k, exponential),
@@ -185,9 +205,13 @@ class AtpgResult:
         return self.n_covered / self.n_total if self.faults else 1.0
 
     def summary(self) -> str:
+        """One-line headline: coverage, per-phase split, CSSG size."""
+        from repro.faultmodels import get_model
+
+        label = get_model(self.options.fault_model).universe_label
         return (
             f"{self.circuit.name}: {self.n_covered}/{self.n_total} "
-            f"{self.options.fault_model}-stuck-at faults covered "
+            f"{label} faults covered "
             f"({100.0 * self.coverage:.2f}%) — rnd {self.n_random}, "
             f"3-ph {self.n_three_phase}, sim {self.n_fault_sim}, "
             f"undetectable {self.n_undetectable}, aborted {self.n_aborted}; "

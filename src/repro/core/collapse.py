@@ -1,15 +1,22 @@
 """Structural fault collapsing.
 
 Classic ATPG front-end step: faults whose faulty circuits are *identical*
-need only one test.  Two faults collapse when they perturb the same gate
-and the perturbed gate functions are equal:
+need only one test.  Whether two faults qualify is the owning fault
+model's call: each model supplies a **collapse signature**
+(:meth:`repro.faultmodels.FaultModel.collapse_signature`) such that
+equal signatures imply bit-identical faulty netlists — e.g. for the
+stuck-at kinds the signature is the perturbed gate plus its faulty
+truth table:
 
 * an input pin stuck-at turns gate function ``F`` into the cofactor
   ``F[site := v]``;
-* an output stuck-at turns it into the constant ``v``.
+* an output stuck-at turns it into the constant ``v``;
+* a transition fault's table is taken over ``support ∪ {self}`` (its
+  sticky function reads the gate's own output) — provably the identity
+  partition, handled uniformly anyway;
+* bridging faults return no signature (they perturb two gates; each is
+  its own class).
 
-Equality is decided by truth-table comparison over the gate's support
-(complex gates here have small support, so this is exact and cheap).
 Because equivalent faults yield bit-identical faulty netlists, running
 ATPG on one representative per class and copying its verdict to the
 class is *lossless* — coverage numbers over the full universe are
@@ -20,28 +27,10 @@ input SA-v ≡ output SA-(1-v), buffer chains collapse end to end.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Sequence, Tuple
 
-from repro._bits import set_bit
-from repro.circuit.expr import eval_binary
 from repro.circuit.faults import Fault
-from repro.circuit.netlist import Circuit, Gate
-
-
-def _faulty_table(circuit: Circuit, gate: Gate, fault: Fault) -> Tuple[int, ...]:
-    """Truth table of the gate's faulty function over its support."""
-    support = gate.support
-    rows = []
-    for assignment in range(1 << len(support)):
-        state = 0
-        for j, sig in enumerate(support):
-            state = set_bit(state, sig, (assignment >> j) & 1)
-        if fault.kind == "output":
-            rows.append(fault.value)
-        else:
-            state = set_bit(state, fault.site, fault.value)
-            rows.append(eval_binary(gate.program, state))
-    return tuple(rows)
+from repro.circuit.netlist import Circuit
 
 
 def collapse_faults(
@@ -51,24 +40,29 @@ def collapse_faults(
 
     Returns ``(representatives, representative_of)`` where
     ``representative_of[f]`` maps every fault to its class
-    representative (representatives map to themselves).  Faults on
-    different gates are never merged — only same-gate functional
+    representative (representatives map to themselves).  Faults with no
+    model signature — and faults on different gates, since every
+    signature embeds the gate — are never merged: only local functional
     equivalence is structural and therefore sound without further
     analysis.
     """
-    gate_by_index = {g.index: g for g in circuit.gates}
+    from repro.faultmodels import model_for_kind
+
     representative_of: Dict[Fault, Fault] = {}
     representatives: List[Fault] = []
-    # Group by gate, then by faulty truth table.
-    by_signature: Dict[Tuple[int, Tuple[int, ...]], Fault] = {}
+    by_signature: Dict[Hashable, Fault] = {}
     for fault in faults:
-        gate = gate_by_index.get(fault.gate)
-        if gate is None:
-            # Fault on a signal with no gate (defensive): its own class.
+        signature = model_for_kind(fault.kind).collapse_signature(circuit, fault)
+        if signature is None:
+            # No structural equivalence claimed: its own class.
             representative_of[fault] = fault
             representatives.append(fault)
             continue
-        signature = (gate.index, _faulty_table(circuit, gate, fault))
+        # Signatures are compared across kinds: the two stuck-at models
+        # deliberately share the (gate, faulty-table) shape so an AND
+        # input SA0 still collapses with the output SA0; models whose
+        # equivalence must stay private tag their signature (the
+        # transition model does).
         rep = by_signature.get(signature)
         if rep is None:
             by_signature[signature] = fault
@@ -77,6 +71,15 @@ def collapse_faults(
         else:
             representative_of[fault] = rep
     return representatives, representative_of
+
+
+def _faulty_table(circuit: Circuit, gate, fault: Fault) -> Tuple[int, ...]:
+    """Pre-registry helper kept for compatibility: the stuck-at faulty
+    truth table over the gate's support (now owned by the stuck-at
+    models)."""
+    from repro.faultmodels import model_for_kind
+
+    return model_for_kind(fault.kind)._faulty_table(gate, fault)
 
 
 def collapse_ratio(n_total: int, n_representatives: int) -> float:

@@ -30,6 +30,12 @@ class TableRow:
     paper-table metric, computed by the symbolic builder; 0 = not
     computed).  ``peak_bdd_nodes`` / ``gc_passes`` / ``image_iters``
     profile the symbolic kernel, zero for explicit constructions.
+
+    ``models`` carries the coverage of any *non-stuck-at* fault-model
+    runs of the variant as compact ``model:covered/total`` entries,
+    space-separated — e.g. ``"bridging:140/156 transition:44/46"`` —
+    empty when only the paper's two stuck-at universes ran (whose
+    counts keep their historical dedicated columns).
     """
 
     name: str
@@ -51,6 +57,7 @@ class TableRow:
     gc_passes: int = 0
     reorders: int = 0
     image_iters: int = 0
+    models: str = ""
 
     @property
     def out_fc(self) -> float:
@@ -84,15 +91,42 @@ class TableRow:
             "gc_passes": self.gc_passes,
             "reorders": self.reorders,
             "image_iters": self.image_iters,
+            "models": self.models,
         }
 
 
+def format_model_counts(counts: Dict[str, Sequence[int]]) -> str:
+    """Render extra-model coverage as ``model:covered/total`` entries,
+    model-name sorted — the :attr:`TableRow.models` column format.
+
+    >>> format_model_counts({"transition": (44, 46), "bridging": (140, 156)})
+    'bridging:140/156 transition:44/46'
+    """
+    return " ".join(
+        f"{model}:{covered}/{total}"
+        for model, (covered, total) in sorted(counts.items())
+    )
+
+
 def result_row(
-    name: str, output_result: Optional[AtpgResult], input_result: AtpgResult
+    name: str,
+    output_result: Optional[AtpgResult],
+    input_result: AtpgResult,
+    extra_results: Optional[Dict[str, AtpgResult]] = None,
 ) -> TableRow:
-    """Combine the two fault-model runs of one benchmark into a row."""
+    """Combine the fault-model runs of one benchmark into a row.
+
+    ``extra_results`` maps non-stuck-at model names (``bridging``,
+    ``transition``, ...) to their results; they land in the compact
+    :attr:`TableRow.models` column."""
     reasons = input_result.abort_reasons()
     cssg = input_result.cssg
+    models = format_model_counts(
+        {
+            model: (res.n_covered, res.n_total)
+            for model, res in (extra_results or {}).items()
+        }
+    )
     return TableRow(
         name=name,
         out_tot=output_result.n_total if output_result else 0,
@@ -103,7 +137,8 @@ def result_row(
         three_ph=input_result.n_three_phase,
         sim=input_result.n_fault_sim,
         cpu=(input_result.cpu_seconds
-             + (output_result.cpu_seconds if output_result else 0.0)),
+             + (output_result.cpu_seconds if output_result else 0.0)
+             + sum(r.cpu_seconds for r in (extra_results or {}).values())),
         aborted=input_result.n_aborted,
         abort_reasons=",".join(f"{k}:{v}" for k, v in reasons.items()),
         cssg_method=cssg.method,
@@ -114,6 +149,7 @@ def result_row(
         gc_passes=cssg.n_gc_passes,
         reorders=cssg.n_reorders,
         image_iters=cssg.n_image_iterations,
+        models=models,
     )
 
 
@@ -129,10 +165,13 @@ def format_table(rows: Sequence[TableRow], title: str = "") -> str:
     lines.append(header)
     lines.append("-" * len(header))
     for r in rows:
-        lines.append(
+        line = (
             f"{r.name:<18} {r.out_tot:>6} {r.out_cov:>6} {r.in_tot:>6} "
             f"{r.in_cov:>6} {r.rnd:>5} {r.three_ph:>5} {r.sim:>4} {r.cpu:>8.2f}"
         )
+        if r.models:
+            line += f"  {r.models}"  # extra fault-model runs of this variant
+        lines.append(line)
     lines.append("-" * len(header))
     out_tot = sum(r.out_tot for r in rows)
     out_cov = sum(r.out_cov for r in rows)
@@ -150,7 +189,7 @@ CSV_COLUMNS = (
     "name", "out_tot", "out_cov", "out_fc", "in_tot", "in_cov", "in_fc",
     "rnd", "three_ph", "sim", "cpu", "aborted", "abort_reasons",
     "cssg_method", "cssg_states", "cssg_edges", "tcsg_states",
-    "peak_bdd_nodes", "gc_passes", "reorders", "image_iters",
+    "peak_bdd_nodes", "gc_passes", "reorders", "image_iters", "models",
 )
 
 

@@ -160,17 +160,20 @@ class ThreePhaseGenerator:
     # -- phase 1 ---------------------------------------------------------
 
     def activation_states(self, fault: Fault) -> List[int]:
-        """Reachable stable states where the fault site is excited,
-        ordered by justification distance from reset."""
-        site = fault.excitation_site()
-        stuck = fault.value
-        states = [
-            s
-            for s in self.cssg.states
-            if ((s >> site) & 1) != stuck and s in self._dist
-        ]
-        states.sort(key=lambda s: (self._dist[s], s))
-        return states
+        """Justifiable states the fault's model targets for activation,
+        ordered by justification distance from reset.
+
+        Delegated to :meth:`repro.faultmodels.FaultModel.activation_states`:
+        for stuck-at kinds these are the reachable stable states where
+        the fault site holds the opposite of the stuck value (§5.1); for
+        transition faults, the sources of CSSG edges that complete the
+        slow transition; for bridging, states where the shorted nets
+        disagree."""
+        from repro.faultmodels import model_for_kind
+
+        return model_for_kind(fault.kind).activation_states(
+            self.cssg, self._dist, fault
+        )
 
     # -- phase 2 ---------------------------------------------------------
 

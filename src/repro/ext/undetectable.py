@@ -6,15 +6,20 @@ future work.  Two cheap sufficient conditions are implemented here; both
 are sound (a classified fault is genuinely undetectable under the CSSG +
 stable-state-observation semantics), neither is complete:
 
-* **never excited** — the fault site holds the stuck value in every
-  reachable stable state *and* the faulty machine is stable in each of
-  them (so no stable-state divergence can ever start).  The state set
-  this is checked over is the full symbolic TCSG reachable-stable set —
-  a superset of the CSSG's nodes (which only contains states reachable
-  through *valid* vectors), so the verdict holds even for excursions
-  the CSSG pruned; the whole check is three BDD conjunctions per fault,
-  no enumeration.  An explicit CSSG-state walk remains as the
-  ``use_symbolic=False`` fallback.
+* **never excited** — the fault's model proves the faulty functions
+  agree with the good ones everywhere the good machine can go, so no
+  divergence can ever start.  For stuck-at kinds this is the classic
+  check (the site holds the stuck value in every reachable stable state
+  and the faulty machine is stable in each of them); bridging and
+  transition models prove agreement over the *transient-inclusive*
+  symbolic reachable set instead, since their excitation can be purely
+  transient.  Both sets come from one symbolic TCSG reachability
+  computation — a superset of the CSSG's nodes (which only contains
+  states reachable through *valid* vectors), so the verdict holds even
+  for excursions the CSSG pruned; each per-fault check is a handful of
+  BDD conjunctions, no enumeration.  An explicit CSSG-state walk
+  remains as the ``use_symbolic=False`` fallback for the stuck-at
+  kinds (other models conservatively skip it).
 * **stable-equivalent** — exhaustive product walk of (good CSSG state,
   faulty ternary state) shows the faulty machine always reaches output-
   identical *definite* stable states.  This is the same search the
@@ -47,39 +52,35 @@ class Classification:
 
 
 def _never_excited_symbolic(
-    sym: SymbolicTcsg, stable_reachable: int, fault: Fault
+    sym: SymbolicTcsg, reachable: int, stable_reachable: int, fault: Fault
 ) -> bool:
-    """The never-excited check over the symbolic TCSG stable set.
+    """The never-excited check, dispatched to the fault's model.
 
-    Soundness needs two facts about every reachable stable state: the
-    fault site already holds the stuck value (the fault is never
-    excited), and the faulted gate's function still agrees with its
-    output there (the fault does not destabilize the state — every
-    *other* gate is stable because its function is untouched)."""
-    mgr = sym.mgr
-    site, stuck = fault.excitation_site(), fault.value
-    stuck_lit = mgr.var(site) if stuck else mgr.nvar(site)
-    if mgr.apply_and(stable_reachable, stuck_lit ^ 1) != FALSE:
-        return False  # some reachable stable state excites the site
-    disagree = mgr.apply_xor(mgr.var(fault.gate), sym.faulty_gate_fn(fault))
-    return mgr.apply_and(stable_reachable, disagree) == FALSE
+    Each model proves its own sound sufficient condition over the
+    symbolic TCSG sets: the stuck-at kinds over the reachable *stable*
+    states (site holds the stuck value everywhere, and the faulted
+    gate's function still agrees with its output there, so no
+    stable-state divergence can ever start); bridging and transition
+    faults over the *transient-inclusive* reachable set (their faulty
+    functions agree with the good ones on every state the good machine
+    can even pass through)."""
+    from repro.faultmodels import model_for_kind
+
+    return model_for_kind(fault.kind).never_excited_symbolic(
+        sym, reachable, stable_reachable, fault
+    )
 
 
 def _never_excited(cssg: Cssg, fault: Fault) -> bool:
-    """Explicit fallback: the same check walked over the CSSG's states
-    (a subset of the TCSG stable set, hence weaker — kept for
-    ``use_symbolic=False`` and as the differential oracle)."""
-    circuit = cssg.circuit
-    site, stuck = fault.excitation_site(), fault.value
-    for state in cssg.states:
-        if ((state >> site) & 1) != stuck:
-            return False
-        settled = ternary.settle(
-            circuit, ternary.from_binary(state, circuit.n_signals), fault
-        )
-        if not ternary.is_definite(settled) or ternary.to_binary(settled) != state:
-            return False
-    return True
+    """Explicit fallback, dispatched to the fault's model: the stuck-at
+    kinds walk the CSSG's states (a subset of the TCSG stable set,
+    hence weaker — kept for ``use_symbolic=False`` and as the
+    differential oracle); models whose excitation is transient-
+    sensitive (bridging, transition) conservatively return False here,
+    leaving the verdict to the stable-equivalent product walk."""
+    from repro.faultmodels import model_for_kind
+
+    return model_for_kind(fault.kind).never_excited_explicit(cssg, fault)
 
 
 def _stable_equivalent(
@@ -142,12 +143,19 @@ def classify_undetectable(
     ``symbolic`` to reuse its encoding instead of rebuilding one.
     """
     sym: Optional[SymbolicTcsg] = None
+    reachable = FALSE
     stable_reachable = FALSE
     if use_symbolic and faults:
         try:
             sym = symbolic if symbolic is not None else SymbolicTcsg(cssg.circuit)
+            # One reachability computation shared by every fault: the
+            # transient-inclusive set (bridging/transition proofs) and
+            # its stable restriction (the stuck-at proof).
+            reachable = sym.mgr.add_root(
+                sym.reachable(sym.state_bdd(cssg.reset))
+            )
             stable_reachable = sym.mgr.add_root(
-                sym.stable_reachable(sym.state_bdd(cssg.reset))
+                sym.mgr.apply_and(reachable, sym.stable)
             )
         except StateGraphError:
             sym = None  # fall back to the explicit CSSG walk
@@ -155,7 +163,9 @@ def classify_undetectable(
     try:
         for fault in faults:
             if sym is not None:
-                never = _never_excited_symbolic(sym, stable_reachable, fault)
+                never = _never_excited_symbolic(
+                    sym, reachable, stable_reachable, fault
+                )
                 # Per-fault faulty-function garbage has no further use;
                 # let the manager's auto-GC reclaim it at this safe
                 # point (the reachable set and encoding are rooted).
@@ -174,7 +184,8 @@ def classify_undetectable(
                 )
     finally:
         if sym is not None:
-            # Unpin the reachable set — the manager may outlive this
+            # Unpin the reachable sets — the manager may outlive this
             # call when the caller passed its own SymbolicTcsg.
             sym.mgr.remove_root(stable_reachable)
+            sym.mgr.remove_root(reachable)
     return result

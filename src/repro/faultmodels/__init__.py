@@ -1,0 +1,63 @@
+"""Fault models as first-class, registry-dispatched plug-ins.
+
+Four models ship in-tree; registering a fifth is one subclass plus one
+:func:`register_model` call (see ``docs/fault-models.md`` for the full
+contract and worked examples):
+
+========== =============================== ==============================
+model      universe                        faulty semantics
+========== =============================== ==============================
+input      2 × every gate input pin        pin reads a constant
+output     2 × every gate output           gate becomes a constant
+bridging   2 × adjacent gate-output pairs  both nets drive ``F_a op F_b``
+transition 2 × every gate output           self-sticky ``F∧s`` / ``F∨s``
+========== =============================== ==============================
+
+>>> from repro.faultmodels import get_model, model_names
+>>> model_names()
+['bridging', 'input', 'output', 'transition']
+>>> get_model("transition").universe_label
+'transition'
+"""
+
+from repro.faultmodels.base import (
+    FaultModel,
+    get_model,
+    model_for_kind,
+    model_names,
+    rebuild_faulty,
+    register_model,
+    unregister_model,
+)
+from repro.faultmodels.bridging import WIRED_AND, WIRED_OR, BridgingModel, adjacent_pairs
+from repro.faultmodels.stuckat import InputStuckAtModel, OutputStuckAtModel
+from repro.faultmodels.transition import SLOW_TO_FALL, SLOW_TO_RISE, TransitionModel
+
+#: The built-in model singletons, registered at import time.
+INPUT_STUCK_AT = register_model(InputStuckAtModel())
+OUTPUT_STUCK_AT = register_model(OutputStuckAtModel())
+BRIDGING = register_model(BridgingModel())
+TRANSITION = register_model(TransitionModel())
+
+__all__ = [
+    "FaultModel",
+    "register_model",
+    "unregister_model",
+    "get_model",
+    "model_for_kind",
+    "model_names",
+    "rebuild_faulty",
+    "adjacent_pairs",
+    "InputStuckAtModel",
+    "OutputStuckAtModel",
+    "BridgingModel",
+    "TransitionModel",
+    "INPUT_STUCK_AT",
+    "OUTPUT_STUCK_AT",
+    "BRIDGING",
+    "TRANSITION",
+    "WIRED_AND",
+    "WIRED_OR",
+    "SLOW_TO_RISE",
+    "SLOW_TO_FALL",
+]

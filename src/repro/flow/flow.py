@@ -45,7 +45,29 @@ DEFAULT_STAGE_NAMES = ("collapse", "random-tpg", "three-phase", "compaction")
 
 
 class Flow:
-    """An ordered list of stages run over one shared context."""
+    """An ordered list of stages run over one shared context.
+
+    ``Flow.default()`` is the paper's complete pipeline; ``Flow([...])``
+    composes any objects implementing the :class:`Stage` protocol
+    (``name`` / ``enabled(ctx)`` / ``run(ctx)``) over the same
+    :class:`~repro.flow.context.RunContext`.  A partial flow still
+    yields a complete result — unclassified faults come back
+    ``aborted`` with reason ``"unprocessed"``.
+
+    >>> from repro import AtpgOptions, Flow, load_benchmark
+    >>> flow = Flow.default()
+    >>> flow.stage_names
+    ['collapse', 'random-tpg', 'three-phase', 'compaction']
+    >>> result = flow.run(load_benchmark("dff"), AtpgOptions(seed=0))
+    >>> result.coverage
+    1.0
+
+    The run accepts any registered fault model
+    (``AtpgOptions(fault_model="bridging")``; see
+    :mod:`repro.faultmodels`), an optional pre-built CSSG to share one
+    construction across runs, per-run event listeners, and a budget
+    override — see :meth:`run`.
+    """
 
     def __init__(self, stages: Sequence[Stage]):
         self.stages: List[Stage] = list(stages)

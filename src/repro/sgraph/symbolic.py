@@ -138,9 +138,16 @@ class SymbolicTcsg:
         return stack[0]
 
     def faulty_gate_fn(self, fault: Fault) -> int:
-        """The faulted gate's function under ``fault`` (same variables)."""
+        """The faulted gate's function under a *stuck-at* ``fault``
+        (same variables).  Other fault kinds build their symbolic
+        predicates from :attr:`gate_fn` directly — see the
+        ``never_excited_symbolic`` hooks in :mod:`repro.faultmodels`."""
         if fault.kind == "output":
             return TRUE if fault.value else FALSE
+        if fault.kind != "input":
+            raise StateGraphError(
+                f"faulty_gate_fn supports stuck-at kinds only, not {fault.kind!r}"
+            )
         gate = next(g for g in self.circuit.gates if g.index == fault.gate)
         return self.compile_program(gate.program, stuck={fault.site: fault.value})
 

@@ -33,15 +33,37 @@ bit-identical to the original implementation — a property
 a fault-injection overlay:
 
 * *none* — plain good-machine simulation;
-* *scalar fault* — one stuck-at fault, as used by per-fault ternary
-  machines; implemented as a width-1 packed overlay, which the seed test
-  suite already established is bit-for-bit the scalar semantics;
+* *scalar fault* — one fault, as used by per-fault ternary machines;
+  implemented as a width-1 packed overlay, which the seed test suite
+  already established is bit-for-bit the scalar semantics;
 * *packed masks* — W faults simulated in parallel, one machine per bit
-  of a Python int (paper §5.4), with pin/output force masks baked into
-  the affected gates' compiled code;
+  of a Python int (paper §5.4), with the per-fault masks baked into the
+  affected gates' compiled code;
 * *chunked* — a large fault universe split into fixed-width words (see
   :class:`repro.sim.batch.ChunkedFaultSim`), trading single-word
   bignum arithmetic for cache-sized chunks.
+
+Four mask families cover the registered fault models
+(:mod:`repro.faultmodels`); each is the identity outside its machine
+mask, so one word freely mixes models:
+
+* **pin forces** (input stuck-at) — the faulted gate's operand reads
+  are clamped, ``(l|f0)&~f1`` / ``(h|f1)&~f0``;
+* **output forces** (output stuck-at) — the gate's result words are
+  clamped the same way;
+* **self blends** (transition faults) — the result is AND-ed
+  (slow-to-rise) or OR-ed (slow-to-fall) with the gate's *own current
+  value*, the self-sticky encoding of a gross delay fault; the engine
+  widens its fanout so the self-dependency re-triggers evaluation;
+* **bridge blends** (bridging faults) — the result is AND/OR-blended
+  with the *partner gate's function*, evaluated inline over the
+  partner's true operands; both bridged gates carry the blend and the
+  fanout is widened with the partner's support.
+
+A model outside the inlined stuck-at pair installs its masks through
+:meth:`repro.faultmodels.FaultModel.engine_overlay`; every downstream
+workload (random TPG, fault grading, the three-phase machines, the
+auditor) picks the new kind up unchanged.
 
 Engines are cached per ``(circuit, faults, width)`` so repeated
 construction (per-fault machines, per-test auditing batches) reuses the
@@ -66,7 +88,7 @@ from repro.circuit.expr import (
 )
 from repro.circuit.faults import Fault
 from repro.circuit.netlist import Circuit
-from repro.errors import SimulationError
+from repro.errors import ReproError, SimulationError
 
 GateFn = Callable[[List[int], List[int]], Tuple[int, int]]
 
@@ -81,60 +103,106 @@ def _codegen_ternary(
     ones: int,
     pin_force: Optional[Dict[int, Tuple[int, int]]] = None,
     out_force: Optional[Tuple[int, int]] = None,
+    gate_index: Optional[int] = None,
+    self_and: int = 0,
+    self_or: int = 0,
+    bridges: Optional[List[Tuple[Program, int, int]]] = None,
 ) -> str:
     """Source of one compiled gate evaluator ``name(L, H) -> (l, h)``.
 
-    ``pin_force[site] = (f0, f1)`` bakes per-pin stuck-at masks into the
-    operand reads; ``out_force`` forces the result words.  Temporaries
-    are introduced per operator, so the generated code is linear in the
-    program length (shared subterms are never re-expanded).
+    Overlay hooks, each a per-machine mask over the word's bits:
+
+    * ``pin_force[site] = (f0, f1)`` bakes per-pin stuck-at masks into
+      the operand reads;
+    * ``bridges`` is a list of ``(partner_program, and_mask, or_mask)``
+      blocks: the partner's (clean) function is evaluated inline and the
+      result blended in — the ternary AND for machines in ``and_mask``
+      (wired-AND bridging), the OR for ``or_mask`` machines;
+    * ``self_and`` / ``self_or`` blend the gate's **own current value**
+      ``(L[gate_index], H[gate_index])`` into the result — the
+      self-sticky encoding of slow-to-rise / slow-to-fall transition
+      faults;
+    * ``out_force`` forces the result words (output stuck-at).
+
+    Every blend is the identity outside its mask, and each machine bit
+    carries at most one fault, so the application order is immaterial.
+    Temporaries are introduced per operator, so the generated code is
+    linear in the program length (shared subterms are never
+    re-expanded).
     """
     lines = [f"def {name}(L, H):"]
-    stack: List[Tuple[str, str]] = []
-    tmp = 0
-    for op, arg in program:
-        if op == OP_VAR:
-            force = pin_force.get(arg) if pin_force else None
-            if force is None:
-                stack.append((f"L[{arg}]", f"H[{arg}]"))
-            else:
-                f0, f1 = force
-                stack.append(
-                    (
-                        f"((L[{arg}]|{f0})&{ones & ~f1})",
-                        f"((H[{arg}]|{f1})&{ones & ~f0})",
+    counter = [0]
+
+    def fresh() -> Tuple[str, str]:
+        a, b = f"t{counter[0]}", f"u{counter[0]}"
+        counter[0] += 1
+        return a, b
+
+    def emit(prog: Program, forces) -> Tuple[str, str]:
+        """Append the evaluation of ``prog`` to ``lines``; returns the
+        (l, h) result expressions."""
+        stack: List[Tuple[str, str]] = []
+        for op, arg in prog:
+            if op == OP_VAR:
+                force = forces.get(arg) if forces else None
+                if force is None:
+                    stack.append((f"L[{arg}]", f"H[{arg}]"))
+                else:
+                    f0, f1 = force
+                    stack.append(
+                        (
+                            f"((L[{arg}]|{f0})&{ones & ~f1})",
+                            f"((H[{arg}]|{f1})&{ones & ~f0})",
+                        )
                     )
+            elif op == OP_NOT:
+                l, h = stack.pop()
+                stack.append((h, l))
+            elif op == OP_AND:
+                l2, h2 = stack.pop()
+                l1, h1 = stack[-1]
+                a, b = fresh()
+                lines.append(f"    {a} = {l1}|{l2}; {b} = {h1}&{h2}")
+                stack[-1] = (a, b)
+            elif op == OP_OR:
+                l2, h2 = stack.pop()
+                l1, h1 = stack[-1]
+                a, b = fresh()
+                lines.append(f"    {a} = {l1}&{l2}; {b} = {h1}|{h2}")
+                stack[-1] = (a, b)
+            elif op == OP_XOR:
+                l2, h2 = stack.pop()
+                l1, h1 = stack[-1]
+                a, b = fresh()
+                lines.append(
+                    f"    {a} = ({l1}&{l2})|({h1}&{h2}); "
+                    f"{b} = ({l1}&{h2})|({h1}&{l2})"
                 )
-        elif op == OP_NOT:
-            l, h = stack.pop()
-            stack.append((h, l))
-        elif op == OP_AND:
-            l2, h2 = stack.pop()
-            l1, h1 = stack[-1]
-            a, b = f"t{tmp}", f"u{tmp}"
-            tmp += 1
-            lines.append(f"    {a} = {l1}|{l2}; {b} = {h1}&{h2}")
-            stack[-1] = (a, b)
-        elif op == OP_OR:
-            l2, h2 = stack.pop()
-            l1, h1 = stack[-1]
-            a, b = f"t{tmp}", f"u{tmp}"
-            tmp += 1
-            lines.append(f"    {a} = {l1}&{l2}; {b} = {h1}|{h2}")
-            stack[-1] = (a, b)
-        elif op == OP_XOR:
-            l2, h2 = stack.pop()
-            l1, h1 = stack[-1]
-            a, b = f"t{tmp}", f"u{tmp}"
-            tmp += 1
-            lines.append(
-                f"    {a} = ({l1}&{l2})|({h1}&{h2}); "
-                f"{b} = ({l1}&{h2})|({h1}&{l2})"
-            )
-            stack[-1] = (a, b)
-        else:  # OP_CONST
-            stack.append((f"{0 if arg else ones}", f"{ones if arg else 0}"))
-    l, h = stack.pop()
+                stack[-1] = (a, b)
+            else:  # OP_CONST
+                stack.append((f"{0 if arg else ones}", f"{ones if arg else 0}"))
+        return stack.pop()
+
+    l, h = emit(program, pin_force)
+    for partner_program, and_mask, or_mask in bridges or ():
+        # Masked blend of the partner's driven value: per machine,
+        # ternary AND for and_mask bits, ternary OR for or_mask bits,
+        # identity elsewhere (the masks never share a bit).
+        lb, hb = emit(partner_program, None)
+        a, b = fresh()
+        lines.append(
+            f"    {a} = (({l})|({lb}&{and_mask}))&(({lb})|{ones & ~or_mask}); "
+            f"{b} = (({h})&(({hb})|{ones & ~and_mask}))|(({hb})&{or_mask})"
+        )
+        l, h = a, b
+    if self_and or self_or:
+        gi = gate_index
+        a, b = fresh()
+        lines.append(
+            f"    {a} = (({l})|(L[{gi}]&{self_and}))&(L[{gi}]|{ones & ~self_or}); "
+            f"{b} = (({h})&(H[{gi}]|{ones & ~self_and}))|(H[{gi}]&{self_or})"
+        )
+        l, h = a, b
     if out_force is not None:
         f0, f1 = out_force
         lines.append(
@@ -292,9 +360,22 @@ class SimEngine:
         self.faults = tuple(faults)
         self.width = width
         self.ones = mask(width)
-        # pin_force[gate signal index][site] / out_force[gate signal index]
+        # Overlay mask tables, filled per fault (one machine bit each).
+        # Registered fault models write these through their
+        # ``engine_overlay`` hook; the two stuck-at kinds are inlined as
+        # the historical fast path.
+        #: pin_force[gate signal index][site] = (force-0 mask, force-1 mask)
         self.pin_force: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        #: out_force[gate signal index] = (force-0 mask, force-1 mask)
         self.out_force: Dict[int, Tuple[int, int]] = {}
+        #: self_and/self_or[gate signal index] = machine mask whose result
+        #: is blended with the gate's own current value (transition faults).
+        self.self_and: Dict[int, int] = {}
+        self.self_or: Dict[int, int] = {}
+        #: bridges[gate signal index][partner signal index] =
+        #: (wired-AND mask, wired-OR mask) — the gate's result is blended
+        #: with the partner gate's (clean) function for those machines.
+        self.bridges: Dict[int, Dict[int, Tuple[int, int]]] = {}
         for j, fault in enumerate(self.faults):
             if fault.kind == "input":
                 per_gate = self.pin_force.setdefault(fault.gate, {})
@@ -312,13 +393,26 @@ class SimEngine:
                     f1 |= 1 << j
                 self.out_force[fault.gate] = (f0, f1)
             else:
-                raise SimulationError(f"unknown fault kind {fault.kind!r}")
+                from repro.faultmodels import model_for_kind
+
+                try:
+                    model = model_for_kind(fault.kind)
+                except ReproError as exc:
+                    raise SimulationError(str(exc)) from None
+                model.engine_overlay(self, fault, j)
         # Compiled evaluators: share the clean width-1 functions wherever
         # possible, regenerate only overlay-touched and const-bearing gates.
         fns = list(cc.clean_fns)
         regen = set(cc.const_positions) if self.ones != 1 else set()
         pos_of = {gi: pos for pos, gi in enumerate(cc.gate_index)}
-        for gi in set(self.pin_force) | set(self.out_force):
+        gate_at = {g.index: g for g in circuit.gates}
+        for gi in (
+            set(self.pin_force)
+            | set(self.out_force)
+            | set(self.self_and)
+            | set(self.self_or)
+            | set(self.bridges)
+        ):
             regen.add(pos_of[gi])
         if regen:
             gates = circuit.gates
@@ -329,6 +423,15 @@ class SimEngine:
                     self.ones,
                     self.pin_force.get(cc.gate_index[pos]),
                     self.out_force.get(cc.gate_index[pos]),
+                    gate_index=cc.gate_index[pos],
+                    self_and=self.self_and.get(cc.gate_index[pos], 0),
+                    self_or=self.self_or.get(cc.gate_index[pos], 0),
+                    bridges=[
+                        (gate_at[partner].program, ma, mo)
+                        for partner, (ma, mo) in sorted(
+                            self.bridges.get(cc.gate_index[pos], {}).items()
+                        )
+                    ],
                 )
                 for pos in sorted(regen)
             )
@@ -336,6 +439,24 @@ class SimEngine:
             for pos in regen:
                 fns[pos] = ns[f"g{pos}"]
         self.fns: Tuple[GateFn, ...] = tuple(fns)
+        # Overlay-induced extra dependencies: a self-sticky gate reads
+        # its own output, a bridged gate reads its partner's support.
+        # The worklist must re-examine those gates when the new sources
+        # change, so such engines carry a widened per-engine fanout.
+        extra: Dict[int, set] = {}
+        for gi in set(self.self_and) | set(self.self_or):
+            extra.setdefault(gi, set()).add(pos_of[gi])
+        for gi, partners in self.bridges.items():
+            for partner in partners:
+                for src_sig in gate_at[partner].support:
+                    extra.setdefault(src_sig, set()).add(pos_of[gi])
+        if extra:
+            fanout = list(cc.fanout)
+            for sig, positions in extra.items():
+                fanout[sig] = tuple(sorted(set(fanout[sig]) | positions))
+            self.fanout: Tuple[Tuple[int, ...], ...] = tuple(fanout)
+        else:
+            self.fanout = cc.fanout
         # Scratch per-position eval caches, reused across settle calls.
         n_gates = len(circuit.gates)
         self._evl = [0] * n_gates
@@ -358,7 +479,7 @@ class SimEngine:
         """
         cc = self.cc
         fns = self.fns
-        fanout = cc.fanout
+        fanout = self.fanout  # cc.fanout unless an overlay widened it
         gate_index = cc.gate_index
         n_gates = len(gate_index)
         evl = self._evl

@@ -23,6 +23,17 @@ from repro.sim.ternary import TernaryState
 BatchState = Tuple[Tuple[int, ...], Tuple[int, ...]]
 
 
+def _check_kind(fault: Optional[Fault]) -> None:
+    """The oracle predates the fault-model registry and implements the
+    two stuck-at kinds only; silently mis-simulating a bridging or
+    transition fault would poison every differential test, so reject
+    anything else loudly."""
+    if fault is not None and fault.kind not in ("input", "output"):
+        raise SimulationError(
+            f"legacy oracle only simulates stuck-at kinds, not {fault.kind!r}"
+        )
+
+
 def _gate_eval(
     circuit: Circuit, gate: Gate, low: int, high: int, fault: Optional[Fault]
 ) -> Tuple[int, int]:
@@ -49,6 +60,7 @@ def settle(
     circuit: Circuit, tstate: TernaryState, fault: Optional[Fault] = None
 ) -> TernaryState:
     """The seed's sweep-based scalar Algorithm A + B."""
+    _check_kind(fault)
     low, high = tstate
     gates = circuit.gates
     sweep_guard = 2 * circuit.n_signals + 4
@@ -108,6 +120,8 @@ def batch_settle(
     ones = mask(width) if width else 0
     pin_force = {}
     out_force = {}
+    for fault in faults:
+        _check_kind(fault)
     for j, fault in enumerate(faults):
         if fault.kind == "input":
             per_gate = pin_force.setdefault(fault.gate, {})

@@ -21,11 +21,11 @@ If the final state is fully definite it is the *unique* stable successor
 under the unbounded gate-delay model; any remaining Φ conservatively
 signals possible non-confluence or oscillation.
 
-A single stuck-at fault can be injected: an ``input`` fault forces one
-source pin of one gate, an ``output`` fault replaces a gate's function by
-a constant (see :mod:`repro.circuit.faults`).  Per-fault engines are
-cached, so per-fault machines (three-phase generation) pay the overlay
-compilation once.
+A single fault of any registered model can be injected: an ``input``
+pin force, an ``output`` constant, a ``bridging`` wired blend, or a
+``transition`` self-sticky blend (see :mod:`repro.faultmodels` for the
+overlay semantics).  Per-fault engines are cached, so per-fault
+machines (three-phase generation) pay the overlay compilation once.
 """
 
 from __future__ import annotations
@@ -149,15 +149,21 @@ def settle_from_reset(
 ) -> TernaryState:
     """Force the reset state (as a tester would) and settle.
 
-    For an *output* fault the stuck node is pre-set to its stuck value —
-    physically it never held the fault-free reset value, and lifting it
-    from the wrong polarity would let Algorithm A's lub transient poison
-    feedback loops with spurious Φ.  The rest of the circuit is forced to
-    the reset values and then settles (paper §4: "forcing s1 as reset
-    state").
+    The fault's model may adjust the forced state first
+    (:meth:`~repro.faultmodels.FaultModel.forced_reset`): an *output*
+    stuck-at pre-sets the stuck node to its stuck value — physically it
+    never held the fault-free reset value, and lifting it from the
+    wrong polarity would let Algorithm A's lub transient poison
+    feedback loops with spurious Φ.  The rest of the circuit is forced
+    to the reset values and then settles (paper §4: "forcing s1 as
+    reset state").
     """
-    if fault is not None and fault.kind == "output":
-        reset_state = (reset_state & ~(1 << fault.site)) | (fault.value << fault.site)
+    if fault is not None:
+        from repro.faultmodels import model_for_kind
+
+        reset_state = model_for_kind(fault.kind).forced_reset(
+            circuit, fault, reset_state
+        )
     return settle(circuit, from_binary(reset_state, circuit.n_signals), fault)
 
 

@@ -99,11 +99,12 @@ def test_never_excited_symbolic_at_most_explicit():
         circuit = load_benchmark(name, "complex")
         cssg = build_cssg(circuit)
         sym = SymbolicTcsg(circuit)
+        reach = sym.mgr.add_root(sym.reachable(sym.state_bdd(cssg.reset)))
         stable_reach = sym.mgr.add_root(
-            sym.stable_reachable(sym.state_bdd(cssg.reset))
+            sym.mgr.apply_and(reach, sym.stable)
         )
         for fault in input_fault_universe(circuit):
-            if _never_excited_symbolic(sym, stable_reach, fault):
+            if _never_excited_symbolic(sym, reach, stable_reach, fault):
                 assert _never_excited(cssg, fault), (name, fault)
 
 

@@ -1,0 +1,73 @@
+"""Differential acceptance: stuck-at results are unchanged by the
+fault-model registry refactor.
+
+``tests/data/golden_stuckat_digests.json`` holds SHA-256 digests of the
+canonical ``AtpgResult.to_json_dict()`` payload (minus the wall-clock
+``cpu_seconds`` and the intentionally bumped ``schema_version``) for
+both stuck-at models on every Table-1 benchmark, recorded from the
+pre-registry implementation at ``seed=0`` with default options.  Any
+behavioural drift in universe enumeration, collapsing, simulation
+overlays, the three-phase search, or serialization shows up as a digest
+mismatch naming the benchmark and model.
+
+Regenerate (only after an *intentional* result change, with the bump
+ritual: CODE_VERSION + a fresh review of the diff)::
+
+    PYTHONPATH=src python tests/test_faultmodels_diff.py --regen
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.benchmarks_data import TABLE1_NAMES, load_benchmark
+from repro.core.atpg import AtpgOptions, cssg_for
+from repro.flow import Flow
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "data" / "golden_stuckat_digests.json"
+
+
+def payload_digest(result) -> str:
+    payload = result.to_json_dict()
+    payload.pop("cpu_seconds")  # wall clock
+    payload.pop("schema_version")  # bumped intentionally (3 -> 4)
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def compute_digests(name: str):
+    circuit = load_benchmark(name, "complex")
+    cssg = cssg_for(circuit, AtpgOptions(seed=0))
+    out = {}
+    for model in ("output", "input"):
+        result = Flow.default().run(
+            circuit, AtpgOptions(seed=0, fault_model=model), cssg=cssg
+        )
+        out[f"{name}/{model}"] = payload_digest(result)
+    return out
+
+
+@pytest.mark.parametrize("name", TABLE1_NAMES)
+def test_stuckat_results_byte_identical_to_seed(name):
+    golden = json.loads(GOLDEN_PATH.read_text())
+    for key, digest in compute_digests(name).items():
+        assert digest == golden[key], (
+            f"{key}: stuck-at payload drifted from the recorded seed "
+            "behaviour — if intentional, bump CODE_VERSION and regen "
+            "the goldens (see module docstring)"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover - maintenance entry point
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("refusing: pass --regen to overwrite the goldens")
+    digests = {}
+    for bench in TABLE1_NAMES:
+        digests.update(compute_digests(bench))
+        print(bench, "done", flush=True)
+    GOLDEN_PATH.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(digests)} digests to {GOLDEN_PATH}")

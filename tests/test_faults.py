@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ReproError
 from repro.circuit.faults import (
     Fault,
     fault_universe,
@@ -36,7 +37,9 @@ def test_input_universe_at_least_as_large_as_output(celem):
 def test_fault_universe_dispatch(celem):
     assert fault_universe(celem, "input") == input_fault_universe(celem)
     assert fault_universe(celem, "output") == output_fault_universe(celem)
-    with pytest.raises(ValueError):
+    # Unknown models raise ReproError naming the registered ones (so the
+    # CLIs exit 1 with an actionable message, not a traceback).
+    with pytest.raises(ReproError, match="stuck-open.*registered models.*input"):
         fault_universe(celem, "stuck-open")
 
 
