@@ -32,9 +32,17 @@ def mask(n: int) -> int:
     return (1 << n) - 1
 
 
-def popcount(x: int) -> int:
-    """Number of set bits in ``x`` (x must be non-negative)."""
-    return bin(x).count("1")
+if hasattr(int, "bit_count"):  # Python >= 3.10
+
+    def popcount(x: int) -> int:
+        """Number of set bits in ``x`` (x must be non-negative)."""
+        return x.bit_count()
+
+else:  # pragma: no cover - exercised on 3.8/3.9 CI
+
+    def popcount(x: int) -> int:
+        """Number of set bits in ``x`` (x must be non-negative)."""
+        return bin(x).count("1")
 
 
 def iter_set_bits(x: int) -> Iterator[int]:

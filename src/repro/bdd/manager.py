@@ -23,17 +23,34 @@ Design notes:
   index forever; a ``var ↔ level`` permutation maps them to levels.  All
   recursion compares *levels*, so the order can change under live
   references.
+* **Arena tables.**  The node store is three parallel int arrays
+  (``_var`` / ``_lo`` / ``_hi``) indexed by node id.  The unique table
+  and the operation cache are keyed by one packed integer each (no
+  tuple allocation or tuple hashing on any hot path), backed by the
+  runtime's open-addressed hash table.  The free list is an index
+  chain threaded through ``_lo`` (``_free_head`` → ``_lo[node]`` → …),
+  so reclaiming and reusing a slot is two array writes — no side list,
+  no set membership tests.
 * **Mark-and-sweep GC.**  :meth:`collect` marks from registered roots
-  (:meth:`add_root`) plus any refs passed in, sweeps dead nodes onto a
-  free list for reuse, and invalidates the operation cache (freed ids
-  may be re-allocated to different functions).  Node ids of surviving
-  nodes do not move, so live references stay valid across collections.
+  (:meth:`add_root`) plus any refs passed in (one flat ``bytearray``
+  of marks, no hash sets), sweeps dead nodes onto the free chain, and
+  invalidates the operation cache (freed ids may be re-allocated to
+  different functions).  Node ids of surviving nodes do not move, so
+  live references stay valid across collections.
 * **In-place sifting.**  :meth:`sift` reorders by adjacent level swaps
   that rewrite nodes *in place* — a reference held by a caller keeps
   denoting the same function before and after a reorder.  The classic
   canonicity argument carries over to complement edges: the new then
   edge of a swapped node is a cofactor of a regular then edge, hence
-  regular.
+  regular.  The sifting scaffolding is flat int arrays too: per-level
+  node populations are intrusive doubly-linked chains (``_ln_next`` /
+  ``_ln_prev`` index arrays plus one head per variable) and the
+  reference counts a plain int array, so a level swap runs without
+  set churn; dead cofactors are reclaimed with an iterative
+  explicit-stack walk.  Repeated auto-reorders back off geometrically
+  (see :meth:`checkpoint`): each completed sift doubles the growth
+  factor the live-node count must reach before the next one, so a
+  long fixpoint computation is not re-sifted at every plateau.
 * **Housekeeping is explicit.**  GC and reordering run only from
   :meth:`collect` / :meth:`sift` / :meth:`checkpoint`, never from inside
   an operation, so intermediate results of a running computation cannot
@@ -67,6 +84,11 @@ _OP_FLIP = 5
 #: Field width used to pack (ref, ref, ref/tag, op) into one int key.
 #: 2**34 node references is far beyond anything a Python process holds.
 _SHIFT = 34
+
+#: Field width used to pack (var, lo, hi) into one unique-table key —
+#: one bit wider than _SHIFT so a packed *reference* (node << 1 | c)
+#: always fits.
+_USHIFT = 35
 
 
 @dataclass
@@ -121,8 +143,11 @@ class BddManager:
         self._var: List[int] = [-1]
         self._lo: List[int] = [FALSE]
         self._hi: List[int] = [FALSE]
-        self._unique: Dict[Tuple[int, int, int], int] = {}
-        self._free: List[int] = []
+        self._unique: Dict[int, int] = {}
+        # Free slots form an index chain threaded through _lo:
+        # _free_head -> _lo[_free_head] -> ... -> -1.  A slot is free
+        # iff its _var entry is -1 (node 0, the terminal, aside).
+        self._free_head: int = -1
         self._cache: Dict[int, int] = {}
         self._var2level: List[int] = []
         self._level2var: List[int] = []
@@ -139,9 +164,16 @@ class BddManager:
         # Allocated-and-not-freed node count (terminal included),
         # maintained incrementally — the GC/reorder trigger metric.
         self._n_live = 1
-        # Sifting scaffolding, live only inside sift():
+        # Auto-reorder backoff: each completed auto-sift doubles the
+        # growth factor required before the next one (capped).
+        self._reorder_growth = 2
+        self._n_live_before_sift = 1
+        # Sifting scaffolding, live only inside sift(): per-node ref
+        # counts plus intrusive doubly-linked per-variable node chains.
         self._ref: List[int] = []
-        self._var_nodes: List[Set[int]] = []
+        self._ln_next: List[int] = []
+        self._ln_prev: List[int] = []
+        self._vhead: List[int] = []
         self.n_vars = 0
         for _ in range(n_vars):
             self.new_var()
@@ -170,11 +202,12 @@ class BddManager:
         if neg:  # canonical form: then edge regular
             lo ^= 1
             hi ^= 1
-        key = (var, lo, hi)
+        key = (var << _USHIFT | lo) << _USHIFT | hi
         node = self._unique.get(key)
         if node is None:
-            if self._free:
-                node = self._free.pop()
+            node = self._free_head
+            if node != -1:
+                self._free_head = self._lo[node]
                 self._var[node] = var
                 self._lo[node] = lo
                 self._hi[node] = hi
@@ -223,6 +256,41 @@ class BddManager:
         """Allocated, not-yet-reclaimed nodes (terminal included).  After
         a :meth:`collect` this is exactly the live node count."""
         return self._n_live
+
+    @property
+    def _free(self) -> List[int]:
+        """Free slots, materialized as a list for introspection and
+        tests.  The real structure is the index chain threaded through
+        ``_lo`` starting at ``_free_head`` — allocation pops the head in
+        O(1) without this list ever existing."""
+        out = []
+        node = self._free_head
+        while node != -1:
+            out.append(node)
+            node = self._lo[node]
+        return out
+
+    def set_order(self, order: Sequence[int]) -> None:
+        """Install an initial variable order (``order[level] = var``).
+
+        Only valid while the store holds nothing beyond single-variable
+        nodes (whose shape is order-independent) — permuting a *fresh*
+        manager is pure bookkeeping, whereas reordering live multi-level
+        structure is :meth:`sift`'s job.
+        """
+        for node in range(1, len(self._var)):
+            if self._var[node] >= 0 and (
+                self._lo[node] > TRUE or self._hi[node] > TRUE
+            ):
+                raise BddError(
+                    "set_order on a manager with multi-level nodes "
+                    "(use sift() to reorder live nodes)"
+                )
+        if sorted(order) != list(range(self.n_vars)):
+            raise BddError("order must be a permutation of all variables")
+        self._level2var = list(order)
+        for level, v in enumerate(order):
+            self._var2level[v] = level
 
     def level_of(self, i: int) -> int:
         """Current level of variable ``i`` (0 = topmost)."""
@@ -345,7 +413,20 @@ class BddManager:
             h0 = h1 = h
         lo = self.ite(f0, g0, h0)
         hi = self.ite(f1, g1, h1)
-        result = self._mk(var, lo, hi)
+        # result = _mk(var, lo, hi), unique lookup inlined — only an
+        # allocation miss pays the call.
+        if lo == hi:
+            result = lo
+        else:
+            c = hi & 1
+            unode = self._unique.get(
+                (var << _USHIFT | (lo ^ c)) << _USHIFT | (hi ^ c)
+            )
+            result = (
+                self._mk(var, lo, hi)
+                if unode is None
+                else (unode << 1) | c
+            )
         self._cache[key] = result
         return result ^ neg
 
@@ -794,25 +875,31 @@ class BddManager:
         later allocations), but surviving node ids do not move — any
         reference whose function was marked stays valid.
         """
-        live: Set[int] = set()
+        var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
+        marks = bytearray(len(var_arr))
+        marks[0] = 1
         stack = [r >> 1 for r in self._roots]
         stack.extend(r >> 1 for r in roots)
         while stack:
             node = stack.pop()
-            if node == 0 or node in live:
+            if marks[node]:
                 continue
-            live.add(node)
-            stack.append(self._lo[node] >> 1)
-            stack.append(self._hi[node] >> 1)
-        already_free = set(self._free)
+            marks[node] = 1
+            stack.append(lo_arr[node] >> 1)
+            stack.append(hi_arr[node] >> 1)
+        unique = self._unique
+        free_head = self._free_head
         freed = 0
-        for node in range(1, len(self._var)):
-            if node in live or node in already_free:
-                continue
-            del self._unique[(self._var[node], self._lo[node], self._hi[node])]
-            self._var[node] = -1
-            self._free.append(node)
+        for node in range(1, len(var_arr)):
+            v = var_arr[node]
+            if v < 0 or marks[node]:
+                continue  # already on the free chain, or live
+            del unique[(v << _USHIFT | lo_arr[node]) << _USHIFT | hi_arr[node]]
+            var_arr[node] = -1
+            lo_arr[node] = free_head
+            free_head = node
             freed += 1
+        self._free_head = free_head
         self._cache.clear()
         self._n_live -= freed
         self.stats.n_freed += freed
@@ -829,8 +916,26 @@ class BddManager:
         """
         n = self.n_nodes
         if self.auto_reorder_nodes is not None and n >= self._next_reorder:
-            self.sift()
-            self._next_reorder = max(self.auto_reorder_nodes, 2 * self.n_nodes)
+            after = self.sift()
+            # Convergence: sifting pays off while the order is bad; once
+            # a pass barely shrinks the live set the order has settled
+            # and further auto-sifts are pure overhead — disarm.  (The
+            # baseline is the live count after the pre-sift collect, so
+            # garbage does not masquerade as sifting gains.)
+            before = self._n_live_before_sift
+            if after >= before * 0.9:
+                self._next_reorder = 1 << 62
+                return
+            # Geometric backoff: a traversal whose live size plateaus
+            # just above the threshold would otherwise be re-sifted at
+            # every checkpoint for no gain — each completed auto-sift
+            # doubles the growth factor required to arm the next one.
+            growth = self._reorder_growth
+            self._next_reorder = max(
+                self.auto_reorder_nodes, growth * self.n_nodes
+            )
+            if growth < 16:
+                self._reorder_growth = growth * 2
             return
         if self.auto_gc_nodes is not None and n >= self._next_gc:
             self.collect()
@@ -841,7 +946,7 @@ class BddManager:
     def sift(
         self,
         roots: Iterable[int] = (),
-        max_growth: float = 2.0,
+        max_growth: float = 1.2,
     ) -> int:
         """Rudell sifting, in place: returns the live node count after.
 
@@ -852,34 +957,55 @@ class BddManager:
         against the registered roots plus ``roots``, so the size metric
         counts live nodes only.  ``max_growth`` bounds how far past the
         best-seen size a variable may be dragged before the walk in
-        that direction is abandoned.
+        that direction is abandoned (1.2, the classic sifting bound, keeps
+        runaway walks from dominating reorder time).
         """
         roots = list(roots)
         self.collect(roots)
+        # Post-collect live count: checkpoint()'s convergence test
+        # compares against this so reclaimed garbage does not
+        # masquerade as a sifting gain.
+        self._n_live_before_sift = self._n_live
         n_levels = self.n_vars
         if n_levels < 2:
             return self.n_nodes
-        # Scaffolding: per-node reference counts (internal edges + one
-        # per root registration) and per-variable node populations.
-        self._ref = [0] * len(self._var)
-        self._var_nodes = [set() for _ in range(self.n_vars)]
-        free = set(self._free)
-        for node in range(1, len(self._var)):
-            if node in free:
-                continue
-            self._var_nodes[self._var[node]].add(node)
-            self._ref[self._lo[node] >> 1] += 1
-            self._ref[self._hi[node] >> 1] += 1
-        for ref in list(self._roots) + roots:
-            self._ref[ref >> 1] += 1
-        by_population = sorted(
-            range(self.n_vars),
-            key=lambda v: (-len(self._var_nodes[v]), v),
-        )
+        # Scaffolding, flat arrays only: per-node reference counts
+        # (internal edges + one per distinct root) and per-variable node
+        # populations as intrusive doubly-linked chains.
+        cap = len(self._var)
+        var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
+        ref = self._ref = [0] * cap
+        ln_next = self._ln_next = [-1] * cap
+        ln_prev = self._ln_prev = [-1] * cap
+        vhead = self._vhead = [-1] * n_levels
+        pop = [0] * n_levels
+        for node in range(1, cap):
+            v = var_arr[node]
+            if v < 0:
+                continue  # free slot
+            head = vhead[v]
+            ln_next[node] = head
+            if head != -1:
+                ln_prev[head] = node
+            vhead[v] = node
+            pop[v] += 1
+            ref[lo_arr[node] >> 1] += 1
+            ref[hi_arr[node] >> 1] += 1
+        for r in self._roots:
+            ref[r >> 1] += 1
+        for r in roots:
+            ref[r >> 1] += 1
+        by_population = sorted(range(n_levels), key=lambda v: (-pop[v], v))
         for v in by_population:
+            if vhead[v] == -1:
+                # No nodes: every swap would be pure bookkeeping and the
+                # walk would settle back at the start level — skip.
+                continue
             self._sift_one(v, max_growth)
         self._ref = []
-        self._var_nodes = []
+        self._ln_next = []
+        self._ln_prev = []
+        self._vhead = []
         self.stats.n_reorders += 1
         return self.n_nodes
 
@@ -889,27 +1015,32 @@ class BddManager:
         best_size = self._n_live
         best_level = start
         limit = int(best_size * max_growth) + 2
-        # Walk down to the bottom...
         level = start
-        while level < n_levels - 1:
-            self._swap_levels(level)
-            level += 1
-            if self._n_live < best_size:
-                best_size = self._n_live
-                best_level = level
-                limit = int(best_size * max_growth) + 2
-            elif self._n_live > limit:
-                break
-        # ...then up to the top...
-        while level > 0:
-            self._swap_levels(level - 1)
-            level -= 1
-            if self._n_live < best_size:
-                best_size = self._n_live
-                best_level = level
-                limit = int(best_size * max_growth) + 2
-            elif self._n_live > limit:
-                break
+        # Walk to the nearer boundary first: those levels are traversed
+        # twice (out and back), so keeping that leg the short one
+        # roughly halves the swap count for variables near an end.
+        down_first = (n_levels - 1 - start) <= start
+        for leg in (0, 1):
+            if (leg == 0) == down_first:
+                while level < n_levels - 1:
+                    self._swap_levels(level)
+                    level += 1
+                    if self._n_live < best_size:
+                        best_size = self._n_live
+                        best_level = level
+                        limit = int(best_size * max_growth) + 2
+                    elif self._n_live > limit:
+                        break
+            else:
+                while level > 0:
+                    self._swap_levels(level - 1)
+                    level -= 1
+                    if self._n_live < best_size:
+                        best_size = self._n_live
+                        best_level = level
+                        limit = int(best_size * max_growth) + 2
+                    elif self._n_live > limit:
+                        break
         # ...and settle at the best position seen.
         while level < best_level:
             self._swap_levels(level)
@@ -922,73 +1053,161 @@ class BddManager:
         """Swap the variables at ``level`` and ``level + 1`` in place."""
         x = self._level2var[level]
         y = self._level2var[level + 1]
-        var, lo_arr, hi_arr = self._var, self._lo, self._hi
-        for n in list(self._var_nodes[x]):
+        var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
+        ln_next, ln_prev, vhead = self._ln_next, self._ln_prev, self._vhead
+        unique = self._unique
+        ref = self._ref
+        n = vhead[x]
+        while n != -1:
+            # Capture the successor first: _mk_counted prepends fresh
+            # x-nodes at the chain head (behind the walk) and _drop_ref
+            # only unlinks nodes strictly below this level.
+            nxt = ln_next[n]
             lo, hi = lo_arr[n], hi_arr[n]
             lo_node, hi_node = lo >> 1, hi >> 1
-            if var[lo_node] != y and var[hi_node] != y:
+            if var_arr[lo_node] != y and var_arr[hi_node] != y:
+                n = nxt
                 continue  # independent of y: the node just changes level
-            if var[lo_node] == y:
+            if var_arr[lo_node] == y:
                 e_neg = lo & 1
                 e0, e1 = lo_arr[lo_node] ^ e_neg, hi_arr[lo_node] ^ e_neg
             else:
                 e0 = e1 = lo
-            if var[hi_node] == y:
+            if var_arr[hi_node] == y:
                 # hi is a regular edge (canonical form), so no ^ neg.
                 t0, t1 = lo_arr[hi_node], hi_arr[hi_node]
             else:
                 t0 = t1 = hi
-            new_lo = self._mk_counted(x, e0, t0)
-            new_hi = self._mk_counted(x, e1, t1)
-            # t1 is regular (cofactor of a regular then edge), so new_hi
-            # is regular and the rewritten node needs no complement.
-            del self._unique[(x, lo, hi)]
-            var[n] = y
+            # new_lo = mk(x, e0, t0), unique lookup inlined; only an
+            # allocation miss leaves this loop.
+            if e0 == t0:
+                new_lo = e0
+            else:
+                c = t0 & 1
+                key = (x << _USHIFT | (e0 ^ c)) << _USHIFT | (t0 ^ c)
+                node = unique.get(key)
+                if node is None:
+                    node = self._alloc_counted(x, e0 ^ c, t0 ^ c, key)
+                new_lo = (node << 1) | c
+            # new_hi = mk(x, e1, t1); t1 is regular (cofactor of a
+            # regular then edge), so new_hi is regular and the
+            # rewritten node needs no complement.
+            if e1 == t1:
+                new_hi = e1
+            else:
+                key = (x << _USHIFT | e1) << _USHIFT | t1
+                node = unique.get(key)
+                if node is None:
+                    node = self._alloc_counted(x, e1, t1, key)
+                new_hi = node << 1
+            del unique[(x << _USHIFT | lo) << _USHIFT | hi]
+            var_arr[n] = y
             lo_arr[n] = new_lo
             hi_arr[n] = new_hi
-            self._unique[(y, new_lo, new_hi)] = n
-            self._var_nodes[x].discard(n)
-            self._var_nodes[y].add(n)
-            self._ref[new_lo >> 1] += 1
-            self._ref[new_hi >> 1] += 1
-            self._drop_ref(lo_node)
-            self._drop_ref(hi_node)
+            unique[(y << _USHIFT | new_lo) << _USHIFT | new_hi] = n
+            # Move n from x's level chain to y's.
+            prv = ln_prev[n]
+            if prv != -1:
+                ln_next[prv] = nxt
+            else:
+                vhead[x] = nxt
+            if nxt != -1:
+                ln_prev[nxt] = prv
+            head = vhead[y]
+            ln_prev[n] = -1
+            ln_next[n] = head
+            if head != -1:
+                ln_prev[head] = n
+            vhead[y] = n
+            ref[new_lo >> 1] += 1
+            ref[new_hi >> 1] += 1
+            # Drop the old child references (reclaim cascade outlined).
+            r = ref[lo_node] - 1
+            ref[lo_node] = r
+            if r <= 0 and lo_node:
+                self._reclaim(lo_node)
+            r = ref[hi_node] - 1
+            ref[hi_node] = r
+            if r <= 0 and hi_node:
+                self._reclaim(hi_node)
+            n = nxt
         self._level2var[level], self._level2var[level + 1] = y, x
         self._var2level[x] = level + 1
         self._var2level[y] = level
 
-    def _mk_counted(self, var: int, lo: int, hi: int) -> int:
-        """``_mk`` with sifting bookkeeping: newly allocated nodes join
-        the per-variable population and count their child references."""
-        before = self._n_live
-        ref = self._mk(var, lo, hi)
-        if self._n_live != before:
-            node = ref >> 1
-            if node >= len(self._ref):
-                # The free list ran dry and _mk appended fresh slots:
-                # grow the sifting scaffolding to match.
-                self._ref.extend([0] * (node + 1 - len(self._ref)))
-            self._var_nodes[var].add(node)
-            self._ref[node] = 0  # the caller links it
-            self._ref[self._lo[node] >> 1] += 1
-            self._ref[self._hi[node] >> 1] += 1
-        return ref
+    def _alloc_counted(self, var: int, lo: int, hi: int, key: int) -> int:
+        """Allocate one canonical-form node during sifting — the slow
+        path of the unique lookups inlined in :meth:`_swap_levels`.
+        The node joins its variable's level chain (at the head, behind
+        any walk in progress) with a zero reference count — the caller
+        links it — and counts one reference on each child."""
+        node = self._free_head
+        if node != -1:
+            self._free_head = self._lo[node]
+            self._var[node] = var
+            self._lo[node] = lo
+            self._hi[node] = hi
+        else:
+            node = len(self._var)
+            self._var.append(var)
+            self._lo.append(lo)
+            self._hi.append(hi)
+            # Fresh slot: grow the sifting scaffolding to match.
+            self._ref.append(0)
+            self._ln_next.append(-1)
+            self._ln_prev.append(-1)
+        self._unique[key] = node
+        stats = self.stats
+        stats.n_allocated += 1
+        self._n_live += 1
+        if self._n_live > stats.peak_nodes:
+            stats.peak_nodes = self._n_live
+        ref = self._ref
+        ref[node] = 0
+        head = self._vhead[var]
+        self._ln_prev[node] = -1
+        self._ln_next[node] = head
+        if head != -1:
+            self._ln_prev[head] = node
+        self._vhead[var] = node
+        ref[lo >> 1] += 1
+        ref[hi >> 1] += 1
+        return node
 
-    def _drop_ref(self, node: int) -> None:
-        """Decrement a node's reference count during sifting; reclaim it
-        (recursively) when it reaches zero."""
-        if node == 0:
-            return
-        self._ref[node] -= 1
-        if self._ref[node] > 0:
-            return
-        v = self._var[node]
-        del self._unique[(v, self._lo[node], self._hi[node])]
-        self._var_nodes[v].discard(node)
-        lo_node, hi_node = self._lo[node] >> 1, self._hi[node] >> 1
-        self._var[node] = -1
-        self._free.append(node)
-        self._n_live -= 1
-        self.stats.n_freed += 1
-        self._drop_ref(lo_node)
-        self._drop_ref(hi_node)
+    def _reclaim(self, node: int) -> None:
+        """Free a node whose sifting reference count reached zero,
+        cascading to its children with an explicit stack (no recursion —
+        cofactor chains can run deep)."""
+        ref = self._ref
+        var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
+        ln_next, ln_prev, vhead = self._ln_next, self._ln_prev, self._vhead
+        unique = self._unique
+        stack = [node]
+        freed = 0
+        while stack:
+            node = stack.pop()
+            v = var_arr[node]
+            del unique[(v << _USHIFT | lo_arr[node]) << _USHIFT | hi_arr[node]]
+            lo_node, hi_node = lo_arr[node] >> 1, hi_arr[node] >> 1
+            # Unlink from its level chain, push onto the free chain.
+            prv, nxt = ln_prev[node], ln_next[node]
+            if prv != -1:
+                ln_next[prv] = nxt
+            else:
+                vhead[v] = nxt
+            if nxt != -1:
+                ln_prev[nxt] = prv
+            var_arr[node] = -1
+            lo_arr[node] = self._free_head
+            self._free_head = node
+            freed += 1
+            if lo_node != 0:
+                ref[lo_node] -= 1
+                if ref[lo_node] <= 0:
+                    stack.append(lo_node)
+            if hi_node != 0:
+                ref[hi_node] -= 1
+                if ref[hi_node] <= 0:
+                    stack.append(hi_node)
+        self._n_live -= freed
+        self.stats.n_freed += freed

@@ -14,7 +14,14 @@ of it:
   quantity orderings try to minimize;
 * :func:`sift_order` — search for a good order by running the in-place
   sifter on a scratch copy, leaving the source manager untouched;
-  returns the discovered order so it can be applied, logged or compared.
+  returns the discovered order so it can be applied, logged or compared;
+* :func:`static_order` — a connectivity-driven *initial* order computed
+  from the netlist before any BDD exists: DFS from the primary outputs
+  through gate fanins, so each signal lands next to the cone it feeds.
+  Installed by the symbolic CSSG builder via
+  :meth:`~repro.bdd.manager.BddManager.set_order` on the fresh manager,
+  it avoids building the (exponential) declaration-order blowup that
+  dynamic reordering would otherwise have to sift its way out of.
 """
 
 from __future__ import annotations
@@ -23,6 +30,43 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.bdd.manager import TRUE, BddManager
 from repro.errors import BddError
+
+
+def static_order(circuit) -> List[int]:
+    """A netlist-driven initial variable order (level → signal index).
+
+    Depth-first from each primary output through gate fanins, emitting
+    signals in visit order: a gate sits immediately above the inputs of
+    its cone, so related signals share adjacent levels — the classic
+    static heuristic that keeps intermediate BDDs of structurally local
+    functions small.  Signals outside every output cone follow, gates
+    first (deepest last), then anything untouched in declaration order.
+    """
+    gate_at = {g.index: g for g in circuit.gates}
+    seen = [False] * circuit.n_signals
+    order: List[int] = []
+
+    def visit(sig: int) -> None:
+        stack = [sig]
+        while stack:
+            s = stack.pop()
+            if seen[s]:
+                continue
+            seen[s] = True
+            order.append(s)
+            gate = gate_at.get(s)
+            if gate is not None:
+                stack.extend(
+                    src for src in reversed(gate.support) if not seen[src]
+                )
+
+    for out in circuit.outputs:
+        visit(out)
+    for gate in circuit.gates:
+        visit(gate.index)
+    for s in range(circuit.n_signals):
+        visit(s)
+    return order
 
 
 def copy_with_order(

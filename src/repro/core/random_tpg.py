@@ -39,9 +39,12 @@ def random_tpg(
     as a :class:`Test` — trimmed to its last useful cycle — whenever it
     detects at least one previously undetected fault.
 
-    ``chunk_width`` splits the fault universe into fixed-width packed
-    words (see :class:`repro.sim.batch.ChunkedFaultSim`); detection
+    ``chunk_width`` routes the batch through the numpy array-slab
+    kernel (see :class:`repro.sim.batch.ChunkedFaultSim`); detection
     results are identical either way, so the default stays monolithic.
+    Both paths walk through the compiled arena kernels — state lives
+    inside the kernel and each cycle returns its detection mask
+    directly (:meth:`~repro.sim.batch.FaultBatch.walk`).
 
     Cooperative hooks for the staged flow: ``rng`` supplies the random
     stream (must be freshly seeded for reproducibility; overrides
@@ -66,12 +69,12 @@ def random_tpg(
             break
         if should_stop is not None and should_stop():
             break
-        state = batch.reset_and_settle(cssg.reset)
+        walk = batch.walk(cssg.reset)
         good = cssg.reset
         patterns: List[int] = []
         walk_new: List[Tuple[int, int]] = []  # (cycle index, new-detections mask)
         # Observation 0: the forced reset state itself may expose faults.
-        new = batch.observe(state, good) & undetected
+        new = walk.observe(good) & undetected
         if new:
             walk_new.append((0, new))
             undetected &= ~new
@@ -84,8 +87,7 @@ def random_tpg(
             pattern = rng.choice(choices)
             patterns.append(pattern)
             good = cssg.edges[good][pattern]
-            state = batch.apply_settled(state, pattern)
-            new = batch.observe(state, good) & undetected
+            new = walk.step(pattern, good) & undetected
             if new:
                 walk_new.append((len(patterns), new))
                 undetected &= ~new

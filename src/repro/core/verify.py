@@ -70,13 +70,14 @@ def verify_test_set(
     """
     circuit = cssg.circuit
     report = VerificationReport(circuit=circuit, n_faults=len(faults))
-    # One batch (and therefore one cached compiled engine) serves every
-    # test: the batch holds no cross-test state beyond its fault masks.
+    # One batch (and therefore one cached compiled arena kernel) serves
+    # every test: the batch holds no cross-test state beyond its fault
+    # masks, and each replay is a fresh kernel walk from reset.
     batch = FaultBatch(circuit, faults)
     for index, test in enumerate(tests):
-        state = batch.reset_and_settle(cssg.reset)
+        walk = batch.walk(cssg.reset)
         good = cssg.reset
-        caught = batch.observe(state, good)
+        caught = walk.observe(good)
         valid = True
         for pattern in test.patterns:
             nxt = cssg.successor(good, pattern)
@@ -84,8 +85,7 @@ def verify_test_set(
                 valid = False
                 break
             good = nxt
-            state = batch.apply_settled(state, pattern)
-            caught |= batch.observe(state, good)
+            caught |= walk.step(pattern, good)
         if not valid:
             report.invalid_tests.append(index)
         hits = {faults[j] for j in range(len(faults)) if (caught >> j) & 1}

@@ -80,7 +80,12 @@ class FaultModel:
         """Install ``fault`` as machine ``bit`` of a packed
         :class:`~repro.sim.engine.SimEngine` under construction, by
         updating the engine's mask dictionaries (``pin_force`` /
-        ``out_force`` / ``self_and`` / ``self_or`` / ``bridges``)."""
+        ``out_force`` / ``self_and`` / ``self_or`` / ``bridges``).
+
+        These mask tables are the *only* fault contract: the arena fast
+        paths (:mod:`repro.sim.arena`) compile their walk and slab
+        kernels from the same dictionaries, so a model implemented here
+        runs on every simulation path without further work."""
         raise NotImplementedError
 
     def forced_reset(self, circuit: Circuit, fault: Fault, reset_state: int) -> int:

@@ -135,7 +135,11 @@ class Heartbeat:
     def __init__(self, send: Callable[[], None], min_interval: float = 0.5):
         self.send = send
         self.min_interval = min_interval
-        self._last = 0.0
+        # -inf, not 0.0: time.monotonic() counts from an arbitrary epoch
+        # (often boot), so on a freshly booted host ``now - 0.0`` can be
+        # smaller than min_interval and even the first beat would be
+        # swallowed.  The first event must always get through.
+        self._last = float("-inf")
 
     def __call__(self, event: FlowEvent) -> None:
         now = time.monotonic()

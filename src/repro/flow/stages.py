@@ -228,15 +228,13 @@ def fault_simulate(
     """
     if not faults:
         return []
-    batch = FaultBatch(cssg.circuit, faults)
-    state = batch.reset_and_settle(cssg.reset)
+    walk = FaultBatch(cssg.circuit, faults).walk(cssg.reset)
     good = cssg.reset
-    detected = batch.observe(state, good)
+    detected = walk.observe(good)
     for pattern in patterns:
         nxt = cssg.successor(good, pattern)
         if nxt is None:
             break
         good = nxt
-        state = batch.apply_settled(state, pattern)
-        detected |= batch.observe(state, good)
+        detected |= walk.step(pattern, good)
     return [f for j, f in enumerate(faults) if (detected >> j) & 1]

@@ -44,6 +44,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.reorder import static_order
 from repro.circuit.expr import OP_AND, OP_NOT, OP_OR, OP_VAR, OP_XOR
 from repro.circuit.faults import Fault
 from repro.circuit.netlist import Circuit
@@ -84,6 +85,13 @@ class SymbolicTcsg:
             auto_reorder_nodes=auto_reorder_nodes,
         )
         mgr = self.mgr
+        # Connectivity-driven initial order: declaration order places
+        # related signals arbitrarily far apart (inputs first, their
+        # consumers much later), which is exactly the pattern that makes
+        # intermediate images exponential.  Starting from the netlist
+        # DFS order means dynamic reordering corrects residual badness
+        # instead of digging out of a structural one.
+        mgr.set_order(static_order(circuit))
         #: Gate functions over the state variables.
         self.gate_fn: Dict[int, int] = {
             g.index: self.compile_program(g.program) for g in circuit.gates

@@ -8,10 +8,14 @@
   Algorithms A and B) with optional single-fault injection; this is the
   conservative race/oscillation detector of paper §5.4.  Thin adapter
   over the engine.
+* :mod:`repro.sim.arena` — the flat-buffer fast paths: a compiled
+  generator walk kernel (state held in generator locals, one ``send``
+  per test cycle) and a numpy ``uint64`` slab kernel (levelized
+  vectorized settling of very wide fault universes).
 * :mod:`repro.sim.batch` — word-parallel ternary simulation of many
-  faulty machines at once (parallel fault simulation, Seshu-style),
-  with optional chunking of large fault universes.  Thin adapter over
-  the engine.
+  faulty machines at once (parallel fault simulation, Seshu-style);
+  large universes ride the arena slab.  Thin adapter over the engine
+  and arena kernels.
 * :mod:`repro.sim.legacy` — the seed's sweep-based reference
   implementations, kept exclusively as the parity/benchmark oracle.
 """
@@ -28,6 +32,7 @@ from repro.sim.ternary import (
     detects,
     phi_signals,
 )
+from repro.sim.arena import ArenaKernel, ArenaWalk, SlabKernel, arena_for, slab_for
 from repro.sim.batch import ChunkedFaultSim, FaultBatch
 from repro.sim.engine import SimEngine, compiled, engine_for
 
@@ -42,6 +47,11 @@ __all__ = [
     "settle_from_reset",
     "detects",
     "phi_signals",
+    "ArenaKernel",
+    "ArenaWalk",
+    "SlabKernel",
+    "arena_for",
+    "slab_for",
     "FaultBatch",
     "ChunkedFaultSim",
     "SimEngine",

@@ -6,9 +6,9 @@ bit of a Python int: signal *i* of the batch holds a pair of W-bit words
 ``(L[i], H[i])`` with the same (can-be-0, can-be-1) encoding as
 :mod:`repro.sim.ternary`.  Because Python ints are arbitrary precision,
 one batch can simulate the entire fault universe at once; for very large
-universes :class:`ChunkedFaultSim` splits the machines into fixed-width
-words instead, which keeps each settle operating on machine-word-sized
-ints.
+universes :class:`ChunkedFaultSim` manages the machines as a numpy
+``uint64`` array slab instead (64 machines per lane word), so state
+lives in two contiguous buffers rather than ever-larger bignums.
 
 Fault injection is compiled into per-gate masks:
 
@@ -16,16 +16,19 @@ Fault injection is compiled into per-gate masks:
   ``site``, bit *j* of the operand words is forced to ``v``;
 * an *output* fault forces bit *j* of gate ``g``'s evaluation result.
 
-The settle loop itself lives in :mod:`repro.sim.engine` — this module is
-a thin adapter that owns batch state layout, fault masks, and
-observation.  A ``FaultBatch`` of width 1 is bit-for-bit equivalent to
-the scalar engine (a property the test suite checks against the
-reference implementation in :mod:`repro.sim.legacy`).
+The settle loops live in :mod:`repro.sim.engine` (event-driven worklist,
+used by the state-passing methods here) and :mod:`repro.sim.arena` (the
+compiled walk and slab kernels) — this module is a thin adapter that
+owns batch state layout, fault masks, and observation.  A ``FaultBatch``
+of width 1 is bit-for-bit equivalent to the scalar engine (a property
+the test suite checks against the reference implementation in
+:mod:`repro.sim.legacy`); the arena walk behind :meth:`FaultBatch.walk`
+is checked the same way by ``tests/test_arena.py``.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.circuit.faults import Fault
 from repro.circuit.netlist import Circuit
@@ -136,16 +139,67 @@ class FaultBatch:
             sh |= ((high[i] >> j) & 1) << i
         return (sl, sh)
 
+    def walk(self, reset_state: Optional[int] = None) -> "ArenaWalk":
+        """Start an arena walk over this batch's fault overlay — the
+        fast path for walk-shaped workloads (random TPG, test replay):
+        state stays inside the compiled kernel and each cycle is one
+        ``step(pattern, good)`` call returning the detection mask.
+        Results are bit-identical to the state-passing methods above."""
+        from repro.sim.arena import arena_for
+
+        return arena_for(self.circuit, tuple(self.faults), self.width).walk(
+            reset_state
+        )
+
+
+class SlabWalk:
+    """Walk handle over a slab state, protocol-compatible with
+    :class:`repro.sim.arena.ArenaWalk`."""
+
+    __slots__ = ("_kernel", "_L", "_H")
+
+    def __init__(self, kernel, reset_state: Optional[int]):
+        self._kernel = kernel
+        self._L, self._H = kernel.reset_and_settle(reset_state)
+
+    def step(self, pattern: int, good_state: int) -> int:
+        kernel = self._kernel
+        kernel.drive(self._L, self._H, pattern)
+        kernel.settle(self._L, self._H)
+        return kernel.observe(self._L, self._H, good_state)
+
+    def observe(self, good_state: int) -> int:
+        return self._kernel.observe(self._L, self._H, good_state)
+
+    def state(self) -> BatchState:
+        """Snapshot as bignum word tuples (one per signal)."""
+        low = []
+        high = []
+        for i in range(self._kernel.circuit.n_signals):
+            wl = 0
+            wh = 0
+            for k in range(self._kernel.n_words):
+                wl |= int(self._L[i][k]) << (64 * k)
+                wh |= int(self._H[i][k]) << (64 * k)
+            low.append(wl)
+            high.append(wh)
+        return (tuple(low), tuple(high))
+
 
 class ChunkedFaultSim:
-    """A fault universe split into fixed-width :class:`FaultBatch` words.
+    """A large fault universe as a numpy ``uint64`` array slab.
 
-    Identical observable behaviour to one monolithic batch (machines are
-    independent, so chunking cannot change any per-machine result), but
-    each settle manipulates ``chunk_width``-bit ints instead of one
-    universe-wide bignum.  ``observe`` masks are re-assembled into the
-    monolithic bit numbering, so callers can swap this in for a
-    ``FaultBatch`` without touching their bookkeeping.
+    Historically this class split the machines into fixed-width
+    :class:`FaultBatch` chunks; it now delegates to the slab kernel
+    (:class:`repro.sim.arena.SlabKernel`): state is a pair of contiguous
+    ``(n_signals, n_words)`` buffers, 64 machines per lane word, settled
+    by levelized vectorized sweeps.  Observable behaviour is identical
+    to one monolithic batch (machines are independent), and ``observe``
+    masks use the monolithic bit numbering, so callers can swap this in
+    for a ``FaultBatch`` without touching their bookkeeping.
+
+    ``chunk_width`` is kept for API compatibility and validation only:
+    the slab always packs machines into 64-bit lanes.
     """
 
     def __init__(
@@ -153,35 +207,38 @@ class ChunkedFaultSim:
     ):
         if chunk_width < 1:
             raise ValueError("chunk_width must be positive")
+        from repro.sim.arena import slab_for
+
         self.circuit = circuit
         self.faults = list(faults)
         self.width = len(self.faults)
         self.chunk_width = chunk_width
-        self.batches: List[FaultBatch] = [
-            FaultBatch(circuit, self.faults[off : off + chunk_width])
-            for off in range(0, self.width, chunk_width)
-        ]
+        self.kernel = slab_for(circuit, tuple(self.faults), self.width)
         self.ones = (1 << self.width) - 1 if self.width else 0
 
-    def _offsets(self) -> Iterator[Tuple[int, FaultBatch]]:
-        for n, batch in enumerate(self.batches):
-            yield n * self.chunk_width, batch
+    def reset_and_settle(self, reset_state: Optional[int] = None):
+        return self.kernel.reset_and_settle(reset_state)
 
-    def reset_and_settle(self, reset_state: Optional[int] = None) -> List[BatchState]:
-        return [b.reset_and_settle(reset_state) for b in self.batches]
+    def apply(self, state, pattern: int):
+        L, H = state
+        L = L.copy()
+        H = H.copy()
+        self.kernel.drive(L, H, pattern)
+        self.kernel.settle(L, H)
+        return L, H
 
-    def apply(self, states: List[BatchState], pattern: int) -> List[BatchState]:
-        return [b.apply(s, pattern) for b, s in zip(self.batches, states)]
+    # The slab settle is always a full levelized sweep, so the settled
+    # and unsettled entry points coincide.
+    apply_settled = apply
 
-    def apply_settled(self, states: List[BatchState], pattern: int) -> List[BatchState]:
-        return [b.apply_settled(s, pattern) for b, s in zip(self.batches, states)]
+    def observe(self, state, good_state: int) -> int:
+        L, H = state
+        return self.kernel.observe(L, H, good_state)
 
-    def observe(self, states: List[BatchState], good_state: int) -> int:
-        detected = 0
-        for (off, batch), state in zip(self._offsets(), states):
-            detected |= batch.observe(state, good_state) << off
-        return detected
+    def machine_state(self, state, j: int) -> Tuple[int, int]:
+        L, H = state
+        return self.kernel.machine_state(L, H, j)
 
-    def machine_state(self, states: List[BatchState], j: int) -> Tuple[int, int]:
-        batch = self.batches[j // self.chunk_width]
-        return batch.machine_state(states[j // self.chunk_width], j % self.chunk_width)
+    def walk(self, reset_state: Optional[int] = None) -> SlabWalk:
+        """Slab-backed walk handle (see :meth:`FaultBatch.walk`)."""
+        return SlabWalk(self.kernel, reset_state)

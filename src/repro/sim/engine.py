@@ -97,6 +97,141 @@ GateFn = Callable[[List[int], List[int]], Tuple[int, int]]
 # ---------------------------------------------------------------------------
 
 
+def _emit_eval(
+    lines: List[str],
+    indent: str,
+    tag: str,
+    program: Program,
+    ones: int,
+    ref: Callable[[int], Tuple[str, str]],
+    lit: Callable[[int], str],
+    pin_force: Optional[Dict[int, Tuple[int, int]]] = None,
+    out_force: Optional[Tuple[int, int]] = None,
+    self_ref: Optional[Tuple[str, str]] = None,
+    self_and: int = 0,
+    self_or: int = 0,
+    bridges: Optional[List[Tuple[Program, int, int]]] = None,
+) -> Tuple[str, str]:
+    """Append the straight-line evaluation of one gate to ``lines``;
+    returns the final ``(l, h)`` result expressions.
+
+    This is the single source of truth for the ternary operator and
+    overlay-mask formulas: the per-gate function compiler below and the
+    arena kernels (:mod:`repro.sim.arena`) both emit through it, so the
+    bignum, generator-walk and numpy-slab paths cannot drift apart.
+    ``ref(sig)`` names a signal's (l, h) operand pair in the target
+    kernel's vocabulary (list reads, locals, slab rows); ``lit(mask)``
+    renders a per-machine mask constant (an int literal, or an interned
+    word-array name for the slab).  Overlay hooks, each a per-machine
+    mask over the word's bits:
+
+    * ``pin_force[site] = (f0, f1)`` bakes per-pin stuck-at masks into
+      the operand reads;
+    * ``bridges`` is a list of ``(partner_program, and_mask, or_mask)``
+      blocks: the partner's (clean) function is evaluated inline and the
+      result blended in — the ternary AND for machines in ``and_mask``
+      (wired-AND bridging), the OR for ``or_mask`` machines;
+    * ``self_and`` / ``self_or`` blend the gate's **own current value**
+      (``self_ref``) into the result — the self-sticky encoding of
+      slow-to-rise / slow-to-fall transition faults;
+    * ``out_force`` forces the result words (output stuck-at).
+
+    Every blend is the identity outside its mask, and each machine bit
+    carries at most one fault, so the application order is immaterial.
+    Temporaries are introduced per operator, so the generated code is
+    linear in the program length (shared subterms are never
+    re-expanded).
+    """
+    counter = [0]
+
+    def fresh() -> Tuple[str, str]:
+        a, b = f"{tag}t{counter[0]}", f"{tag}u{counter[0]}"
+        counter[0] += 1
+        return a, b
+
+    def emit(prog: Program, forces) -> Tuple[str, str]:
+        """Append the evaluation of ``prog`` to ``lines``; returns the
+        (l, h) result expressions."""
+        stack: List[Tuple[str, str]] = []
+        for op, arg in prog:
+            if op == OP_VAR:
+                force = forces.get(arg) if forces else None
+                rl, rh = ref(arg)
+                if force is None:
+                    stack.append((rl, rh))
+                else:
+                    f0, f1 = force
+                    stack.append(
+                        (
+                            f"(({rl}|{lit(f0)})&{lit(ones & ~f1)})",
+                            f"(({rh}|{lit(f1)})&{lit(ones & ~f0)})",
+                        )
+                    )
+            elif op == OP_NOT:
+                l, h = stack.pop()
+                stack.append((h, l))
+            elif op == OP_AND:
+                l2, h2 = stack.pop()
+                l1, h1 = stack[-1]
+                a, b = fresh()
+                lines.append(f"{indent}{a} = {l1}|{l2}; {b} = {h1}&{h2}")
+                stack[-1] = (a, b)
+            elif op == OP_OR:
+                l2, h2 = stack.pop()
+                l1, h1 = stack[-1]
+                a, b = fresh()
+                lines.append(f"{indent}{a} = {l1}&{l2}; {b} = {h1}|{h2}")
+                stack[-1] = (a, b)
+            elif op == OP_XOR:
+                l2, h2 = stack.pop()
+                l1, h1 = stack[-1]
+                a, b = fresh()
+                lines.append(
+                    f"{indent}{a} = ({l1}&{l2})|({h1}&{h2}); "
+                    f"{b} = ({l1}&{h2})|({h1}&{l2})"
+                )
+                stack[-1] = (a, b)
+            else:  # OP_CONST
+                stack.append(
+                    (lit(0 if arg else ones), lit(ones if arg else 0))
+                )
+        return stack.pop()
+
+    l, h = emit(program, pin_force)
+    for partner_program, and_mask, or_mask in bridges or ():
+        # Masked blend of the partner's driven value: per machine,
+        # ternary AND for and_mask bits, ternary OR for or_mask bits,
+        # identity elsewhere (the masks never share a bit).
+        lb, hb = emit(partner_program, None)
+        a, b = fresh()
+        lines.append(
+            f"{indent}{a} = (({l})|({lb}&{lit(and_mask)}))"
+            f"&(({lb})|{lit(ones & ~or_mask)}); "
+            f"{b} = (({h})&(({hb})|{lit(ones & ~and_mask)}))"
+            f"|(({hb})&{lit(or_mask)})"
+        )
+        l, h = a, b
+    if self_and or self_or:
+        sl, sh = self_ref
+        a, b = fresh()
+        lines.append(
+            f"{indent}{a} = (({l})|({sl}&{lit(self_and)}))"
+            f"&({sl}|{lit(ones & ~self_or)}); "
+            f"{b} = (({h})&({sh}|{lit(ones & ~self_and)}))"
+            f"|({sh}&{lit(self_or)})"
+        )
+        l, h = a, b
+    if out_force is not None:
+        f0, f1 = out_force
+        a, b = fresh()
+        lines.append(
+            f"{indent}{a} = ({l}|{lit(f0)})&{lit(ones & ~f1)}; "
+            f"{b} = ({h}|{lit(f1)})&{lit(ones & ~f0)}"
+        )
+        l, h = a, b
+    return l, h
+
+
 def _codegen_ternary(
     name: str,
     program: Program,
@@ -108,108 +243,26 @@ def _codegen_ternary(
     self_or: int = 0,
     bridges: Optional[List[Tuple[Program, int, int]]] = None,
 ) -> str:
-    """Source of one compiled gate evaluator ``name(L, H) -> (l, h)``.
-
-    Overlay hooks, each a per-machine mask over the word's bits:
-
-    * ``pin_force[site] = (f0, f1)`` bakes per-pin stuck-at masks into
-      the operand reads;
-    * ``bridges`` is a list of ``(partner_program, and_mask, or_mask)``
-      blocks: the partner's (clean) function is evaluated inline and the
-      result blended in — the ternary AND for machines in ``and_mask``
-      (wired-AND bridging), the OR for ``or_mask`` machines;
-    * ``self_and`` / ``self_or`` blend the gate's **own current value**
-      ``(L[gate_index], H[gate_index])`` into the result — the
-      self-sticky encoding of slow-to-rise / slow-to-fall transition
-      faults;
-    * ``out_force`` forces the result words (output stuck-at).
-
-    Every blend is the identity outside its mask, and each machine bit
-    carries at most one fault, so the application order is immaterial.
-    Temporaries are introduced per operator, so the generated code is
-    linear in the program length (shared subterms are never
-    re-expanded).
-    """
+    """Source of one compiled gate evaluator ``name(L, H) -> (l, h)``
+    reading per-signal word lists; see :func:`_emit_eval` for the
+    overlay-mask vocabulary."""
     lines = [f"def {name}(L, H):"]
-    counter = [0]
-
-    def fresh() -> Tuple[str, str]:
-        a, b = f"t{counter[0]}", f"u{counter[0]}"
-        counter[0] += 1
-        return a, b
-
-    def emit(prog: Program, forces) -> Tuple[str, str]:
-        """Append the evaluation of ``prog`` to ``lines``; returns the
-        (l, h) result expressions."""
-        stack: List[Tuple[str, str]] = []
-        for op, arg in prog:
-            if op == OP_VAR:
-                force = forces.get(arg) if forces else None
-                if force is None:
-                    stack.append((f"L[{arg}]", f"H[{arg}]"))
-                else:
-                    f0, f1 = force
-                    stack.append(
-                        (
-                            f"((L[{arg}]|{f0})&{ones & ~f1})",
-                            f"((H[{arg}]|{f1})&{ones & ~f0})",
-                        )
-                    )
-            elif op == OP_NOT:
-                l, h = stack.pop()
-                stack.append((h, l))
-            elif op == OP_AND:
-                l2, h2 = stack.pop()
-                l1, h1 = stack[-1]
-                a, b = fresh()
-                lines.append(f"    {a} = {l1}|{l2}; {b} = {h1}&{h2}")
-                stack[-1] = (a, b)
-            elif op == OP_OR:
-                l2, h2 = stack.pop()
-                l1, h1 = stack[-1]
-                a, b = fresh()
-                lines.append(f"    {a} = {l1}&{l2}; {b} = {h1}|{h2}")
-                stack[-1] = (a, b)
-            elif op == OP_XOR:
-                l2, h2 = stack.pop()
-                l1, h1 = stack[-1]
-                a, b = fresh()
-                lines.append(
-                    f"    {a} = ({l1}&{l2})|({h1}&{h2}); "
-                    f"{b} = ({l1}&{h2})|({h1}&{l2})"
-                )
-                stack[-1] = (a, b)
-            else:  # OP_CONST
-                stack.append((f"{0 if arg else ones}", f"{ones if arg else 0}"))
-        return stack.pop()
-
-    l, h = emit(program, pin_force)
-    for partner_program, and_mask, or_mask in bridges or ():
-        # Masked blend of the partner's driven value: per machine,
-        # ternary AND for and_mask bits, ternary OR for or_mask bits,
-        # identity elsewhere (the masks never share a bit).
-        lb, hb = emit(partner_program, None)
-        a, b = fresh()
-        lines.append(
-            f"    {a} = (({l})|({lb}&{and_mask}))&(({lb})|{ones & ~or_mask}); "
-            f"{b} = (({h})&(({hb})|{ones & ~and_mask}))|(({hb})&{or_mask})"
-        )
-        l, h = a, b
-    if self_and or self_or:
-        gi = gate_index
-        a, b = fresh()
-        lines.append(
-            f"    {a} = (({l})|(L[{gi}]&{self_and}))&(L[{gi}]|{ones & ~self_or}); "
-            f"{b} = (({h})&(H[{gi}]|{ones & ~self_and}))|(H[{gi}]&{self_or})"
-        )
-        l, h = a, b
-    if out_force is not None:
-        f0, f1 = out_force
-        lines.append(
-            f"    return ({l}|{f0})&{ones & ~f1}, ({h}|{f1})&{ones & ~f0}"
-        )
-    else:
-        lines.append(f"    return {l}, {h}")
+    l, h = _emit_eval(
+        lines,
+        "    ",
+        "",
+        program,
+        ones,
+        ref=lambda arg: (f"L[{arg}]", f"H[{arg}]"),
+        lit=str,
+        pin_force=pin_force,
+        out_force=out_force,
+        self_ref=(f"L[{gate_index}]", f"H[{gate_index}]"),
+        self_and=self_and,
+        self_or=self_or,
+        bridges=bridges,
+    )
+    lines.append(f"    return {l}, {h}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,118 @@
+"""Arena-kernel parity: the flat-buffer fast paths vs the worklist engine.
+
+The arena walk kernel (compiled generator, state in generator locals)
+and the numpy slab kernel (uint64 buffers, levelized vectorized sweeps)
+must be *bit-identical* to the per-step :class:`FaultBatch` path — same
+settled states after every cycle, same detection words at every
+observation — because Eichelberger's Algorithms A and B compute unique
+lattice fixpoints regardless of evaluation order.
+
+Checked here on every Table-1 benchmark under every registered fault
+model's full universe, riding a deterministic random walk through the
+CSSG.  This is the sim half of the PR's differential battery; the BDD
+half lives in ``test_symbolic_diff.py``.
+"""
+
+import random
+import zlib
+
+import pytest
+
+from repro.benchmarks_data import TABLE1_NAMES, load_benchmark
+from repro.faultmodels import get_model, model_names
+from repro.sgraph.cssg import build_cssg
+from repro.sim import arena
+from repro.sim.batch import ChunkedFaultSim, FaultBatch
+
+WALK_LEN = 8
+
+_CSSG_CACHE = {}
+
+
+def _cssg_for(name):
+    if name not in _CSSG_CACHE:
+        _CSSG_CACHE[name] = build_cssg(load_benchmark(name, "complex"))
+    return _CSSG_CACHE[name]
+
+
+def _walk_states(cssg, seed):
+    """A deterministic (pattern, good-state) trail through the CSSG."""
+    patterns = cssg.random_walk(random.Random(seed), WALK_LEN)
+    trail = []
+    good = cssg.reset
+    for pattern in patterns:
+        good = cssg.edges[good][pattern]
+        trail.append((pattern, good))
+    return trail
+
+
+@pytest.mark.parametrize("model_name", model_names())
+@pytest.mark.parametrize("name", TABLE1_NAMES)
+def test_arena_walk_and_slab_match_batch(name, model_name):
+    cssg = _cssg_for(name)
+    circuit = cssg.circuit
+    faults = get_model(model_name).universe(circuit)
+    if not faults:
+        pytest.skip(f"{model_name} universe is empty on {name}")
+    trail = _walk_states(cssg, seed=zlib.crc32(f"{name}:{model_name}".encode()))
+
+    batch = FaultBatch(circuit, faults)
+    state = batch.reset_and_settle(cssg.reset)
+    walk = batch.walk(cssg.reset)
+    slab = ChunkedFaultSim(circuit, faults).walk(cssg.reset)
+
+    assert walk.state() == state
+    assert slab.state() == state
+    det_ref = batch.observe(state, cssg.reset)
+    assert walk.observe(cssg.reset) == det_ref
+    assert slab.observe(cssg.reset) == det_ref
+
+    for pattern, good in trail:
+        state = batch.apply_settled(state, pattern)
+        det_ref = batch.observe(state, good)
+        assert walk.step(pattern, good) == det_ref
+        assert slab.step(pattern, good) == det_ref
+        assert walk.state() == state
+        assert slab.state() == state
+
+
+def test_walk_is_restartable():
+    """Each ``walk()`` call is an independent replay from reset."""
+    cssg = _cssg_for("dff")
+    faults = get_model("input").universe(cssg.circuit)
+    batch = FaultBatch(cssg.circuit, faults)
+    trail = _walk_states(cssg, seed=7)
+
+    def run():
+        walk = batch.walk(cssg.reset)
+        det = walk.observe(cssg.reset)
+        for pattern, good in trail:
+            det |= walk.step(pattern, good)
+        return det
+
+    assert run() == run()
+
+
+def test_empty_universe_width_zero():
+    """Width-0 kernels settle and observe without faulting."""
+    cssg = _cssg_for("dff")
+    batch = FaultBatch(cssg.circuit, [])
+    walk = batch.walk(cssg.reset)
+    assert walk.observe(cssg.reset) == 0
+    slab = ChunkedFaultSim(cssg.circuit, []).walk(cssg.reset)
+    assert slab.observe(cssg.reset) == 0
+    pattern, good = _walk_states(cssg, seed=1)[0]
+    assert walk.step(pattern, good) == 0
+    assert slab.step(pattern, good) == 0
+
+
+def test_require_numpy_message(monkeypatch):
+    """Without numpy the slab path fails with an actionable message."""
+    monkeypatch.setattr(arena, "_np", None)
+    with pytest.raises(ImportError, match=r"numpy.*setup\.py.*pip install numpy"):
+        arena.require_numpy()
+
+
+def test_require_numpy_returns_module():
+    np = arena.require_numpy()
+    assert np.uint64(3) == 3

@@ -5,12 +5,21 @@ feeds both builders seeded *random* feedback netlists — racy, oscillating
 and non-confluent behaviour included — and asserts exact agreement of
 states, edges and reset.  A second battery squeezes the symbolic build
 through a tiny GC threshold to prove collection never changes results.
+A third battery mirrors one op sequence (gate functions, quantification,
+relational products, renames) on the arena :class:`BddManager` and the
+seed :class:`LegacyBddManager`, comparing function *semantics*
+(truth vectors and model counts) — with mark-and-sweep collections and
+in-place sifts fired mid-sequence on the arena side only, which must
+not change any answer.
 """
 
 import random
 
 import pytest
 
+from repro.bdd.legacy import LegacyBddManager
+from repro.bdd.manager import BddManager
+from repro.circuit.expr import OP_AND, OP_NOT, OP_OR, OP_VAR, OP_XOR
 from repro.circuit.netlist import Circuit
 from repro.sgraph.cssg import build_cssg
 from repro.sgraph.symbolic import SymbolicTcsg
@@ -111,7 +120,107 @@ def test_symbolic_under_gc_pressure_matches_explicit(seed):
     assert sym.mgr.n_nodes <= before
 
 
-def test_gc_pressure_on_benchmark_matches_default():
+# -- arena BddManager vs the seed LegacyBddManager -----------------------
+
+
+def _compile_gate(mgr, program, cur):
+    """Stack-evaluate a gate program into a BDD over current-state vars
+    (identical recipe for both managers)."""
+    stack = []
+    for op, arg in program:
+        if op == OP_VAR:
+            stack.append(mgr.var(cur(arg)))
+        elif op == OP_NOT:
+            stack.append(mgr.apply_not(stack.pop()))
+        elif op == OP_AND:
+            b, a = stack.pop(), stack.pop()
+            stack.append(mgr.apply_and(a, b))
+        elif op == OP_OR:
+            b, a = stack.pop(), stack.pop()
+            stack.append(mgr.apply_or(a, b))
+        elif op == OP_XOR:
+            b, a = stack.pop(), stack.pop()
+            stack.append(mgr.apply_xor(a, b))
+        else:
+            stack.append(1 if arg else 0)
+    return stack[0]
+
+
+def _truth_vector(mgr, f, n_signals, n_vars):
+    """Bit ``s`` = f evaluated at assignment ``s`` of the current-state
+    vars — a manager-independent semantic fingerprint."""
+    vec = 0
+    assignment = [0] * n_vars
+    for s in range(1 << n_signals):
+        for i in range(n_signals):
+            assignment[i] = (s >> i) & 1
+        vec |= mgr.eval(f, assignment) << s
+    return vec
+
+
+def _mirror_ops(mgr, circuit, checkpoint):
+    """Run the shared op sequence, calling ``checkpoint(live_refs)``
+    between steps; return the semantic fingerprints."""
+    n = circuit.n_signals
+    n_vars = 2 * n
+    cur = lambda i: i  # noqa: E731 - trivial index maps
+    nxt = lambda i: n + i  # noqa: E731
+    out = []
+    gate_fns = {}
+    live = []
+    for k, gate in enumerate(circuit.gates):
+        f = _compile_gate(mgr, gate.program, cur)
+        gate_fns[gate.index] = f
+        live.append(f)
+        out.append(_truth_vector(mgr, f, n, n_vars))
+        if k == len(circuit.gates) // 2:
+            checkpoint(mgr, live)  # mid-build GC + reorder (arena only)
+    # The stable-set conjunction (every gate agrees with its function).
+    stable = mgr.and_all(
+        mgr.apply_iff(mgr.var(cur(g.index)), gate_fns[g.index])
+        for g in circuit.gates
+    )
+    live.append(stable)
+    checkpoint(mgr, live)
+    out.append(_truth_vector(mgr, stable, n, n_vars))
+    out.append(mgr.sat_count(stable, [cur(i) for i in range(n)]))
+    # Quantification, relational product, rename round-trip.
+    some_vars = [cur(i) for i in range(0, n, 2)]
+    ex = mgr.exists(stable, some_vars)
+    out.append(_truth_vector(mgr, ex, n, n_vars))
+    for g in circuit.gates[:2]:
+        ae = mgr.and_exists(stable, gate_fns[g.index], some_vars)
+        out.append(_truth_vector(mgr, ae, n, n_vars))
+    renamed = mgr.rename(stable, {cur(i): nxt(i) for i in range(n)})
+    live.append(renamed)
+    checkpoint(mgr, live)
+    back = mgr.rename(renamed, {nxt(i): cur(i) for i in range(n)})
+    out.append(_truth_vector(mgr, back, n, n_vars))
+    out.append(int(back == stable))  # canonicity: round-trip is identity
+    return out
+
+
+def _arena_checkpoint(mgr, live):
+    mgr.collect(live)
+    mgr.sift(live)
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_random_netlists_arena_bdd_equals_legacy(seed):
+    """The arena kernel and the seed manager agree on every fingerprint
+    of the mirrored op sequence, despite mid-sequence GC and sifting
+    (tiny auto thresholds add further collections and reorders inside
+    individual operations)."""
+    circuit = random_circuit(seed)
+    if circuit is None:
+        pytest.skip("no stable state for this seed")
+    arena = BddManager(
+        2 * circuit.n_signals, auto_gc_nodes=64, auto_reorder_nodes=48
+    )
+    legacy = LegacyBddManager(2 * circuit.n_signals)
+    got = _mirror_ops(arena, circuit, _arena_checkpoint)
+    want = _mirror_ops(legacy, circuit, lambda mgr, live: None)
+    assert got == want
     """The largest Table-1 benchmark under a small threshold: bounded
     peak, several collections, identical graph."""
     from repro.benchmarks_data import load_benchmark
