@@ -155,6 +155,10 @@ class BddManager:
         self._quant_tags: Dict[frozenset, int] = {}
         self._subst_tags: Dict[Tuple, int] = {}
         self.stats = BddStats(peak_nodes=1, n_allocated=1)
+        # Watermark of counters already pushed to the metrics registry:
+        # _publish_metrics emits deltas against this, at GC/sift
+        # boundaries only, so the hot ITE path carries no metric code.
+        self._published = BddStats()
         self.auto_gc_nodes = auto_gc_nodes
         self.auto_reorder_nodes = auto_reorder_nodes
         self._next_gc = auto_gc_nodes if auto_gc_nodes is not None else 0
@@ -867,6 +871,48 @@ class BddManager:
     def roots(self) -> List[int]:
         return list(self._roots)
 
+    def publish_metrics(self) -> None:
+        """Flush kernel counter deltas to the ambient metrics registry.
+
+        Happens automatically at GC/sift boundaries; call it explicitly
+        at the end of a workload whose circuit is small enough never to
+        trigger housekeeping (the symbolic CSSG builder does)."""
+        self._publish_metrics()
+
+    def _publish_metrics(self) -> None:
+        """Push kernel counters into the ambient metrics registry as
+        deltas since the last publication.  Called from :meth:`collect`,
+        :meth:`sift`, and :meth:`publish_metrics` — housekeeping and
+        end-of-workload boundaries — never the per-operation paths."""
+        from repro.obs import metrics as obs
+
+        if not obs.enabled():
+            return
+        reg = obs.get_registry()
+        s, pub = self.stats, self._published
+        for attr, name, help_text in (
+            ("cache_hits", "repro_bdd_cache_hits_total",
+             "ITE operation-cache hits."),
+            ("cache_lookups", "repro_bdd_cache_lookups_total",
+             "ITE operation-cache lookups."),
+            ("n_gc_passes", "repro_bdd_gc_passes_total",
+             "Completed mark-and-sweep passes."),
+            ("n_freed", "repro_bdd_nodes_freed_total",
+             "BDD nodes reclaimed by GC."),
+            ("n_reorders", "repro_bdd_reorders_total",
+             "Completed sifting passes."),
+        ):
+            delta = getattr(s, attr) - getattr(pub, attr)
+            if delta:
+                reg.counter(name, help_text).inc(delta)
+                setattr(pub, attr, getattr(s, attr))
+        reg.gauge(
+            "repro_bdd_live_nodes", "Live BDD nodes (unique-table load)."
+        ).set(self.n_nodes)
+        reg.gauge(
+            "repro_bdd_peak_nodes", "High-water mark of live BDD nodes."
+        ).set(s.peak_nodes)
+
     def collect(self, roots: Iterable[int] = ()) -> int:
         """Mark-and-sweep: free every node not reachable from the
         registered roots plus ``roots``; returns the number freed.
@@ -875,6 +921,14 @@ class BddManager:
         later allocations), but surviving node ids do not move — any
         reference whose function was marked stays valid.
         """
+        from repro.obs.trace import get_tracer
+
+        with get_tracer().span("bdd.gc", nodes=self.n_nodes):
+            freed = self._collect(roots)
+        self._publish_metrics()
+        return freed
+
+    def _collect(self, roots: Iterable[int] = ()) -> int:
         var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
         marks = bytearray(len(var_arr))
         marks[0] = 1
@@ -960,6 +1014,18 @@ class BddManager:
         that direction is abandoned (1.2, the classic sifting bound, keeps
         runaway walks from dominating reorder time).
         """
+        from repro.obs.trace import get_tracer
+
+        with get_tracer().span("bdd.sift", nodes=self.n_nodes):
+            after = self._sift(roots, max_growth)
+        self._publish_metrics()
+        return after
+
+    def _sift(
+        self,
+        roots: Iterable[int] = (),
+        max_growth: float = 1.2,
+    ) -> int:
         roots = list(roots)
         self.collect(roots)
         # Post-collect live count: checkpoint()'s convergence test

@@ -24,6 +24,7 @@ from repro.core.report import (
     TableRow,
     format_model_counts,
     format_table,
+    telemetry_columns,
     to_csv,
     to_json,
 )
@@ -81,6 +82,10 @@ def row_from_payloads(
         reorders=cssg.get("n_reorders", 0),
         image_iters=cssg.get("n_image_iterations", 0),
         models=models,
+        # Cached payloads never carry telemetry (the store keeps only
+        # the canonical deterministic result), so these usually stay at
+        # their defaults; fresh --dashboard runs may fill them.
+        **telemetry_columns((in_payload or {}).get("telemetry")),
     )
 
 

@@ -47,6 +47,7 @@ from repro.core.atpg import (
 )
 from repro.errors import ReproError
 from repro.flow import Flow, Heartbeat
+from repro.obs import metrics as _obs
 
 #: Default per-job wall-clock budget in worker mode.
 DEFAULT_JOB_TIMEOUT = 600.0
@@ -218,13 +219,20 @@ def _maybe_crash_for_test(job: Job) -> None:
         os._exit(3)  # simulate a native crash: no exception, no cleanup
 
 
-def _worker_main(wid: int, task_q, event_q) -> None:
+def _worker_main(wid: int, task_q, event_q, collect_telemetry: bool = False) -> None:
     """Worker loop: run dispatched job batches until the ``None``
     sentinel.  A batch is one source circuit's group (or the remainder
     of one), processed strictly in order — the parent relies on that
     order to attribute a crash or timeout to the first job it has no
     completion event for.  One CSSG memo spans the batch, so all
-    fault-model / seed variants share a single construction."""
+    fault-model / seed variants share a single construction.
+
+    With ``collect_telemetry`` the worker arms a **fresh metrics
+    registry per job**, ships its snapshot as a fifth heartbeat element
+    (the parent's dashboard reads live, in-flight numbers from it), and
+    lets the flow attach the final snapshot to the result's
+    ``telemetry`` block — which is how per-job metrics reach the
+    parent's campaign-wide registry exactly once."""
     while True:
         item = task_q.get()
         if item is None:
@@ -238,11 +246,19 @@ def _worker_main(wid: int, task_q, event_q) -> None:
             # driven by the job's own flow events.  One beat fires
             # unconditionally at pickup, so the hang clock starts from
             # "job started", not from the first flow event.
-            event_q.put(("beat", wid, job.key, 0.0))
-            beat = Heartbeat(
-                lambda key=job.key: event_q.put(("beat", wid, key, 0.0)),
-                min_interval=HEARTBEAT_INTERVAL,
-            )
+            if collect_telemetry:
+                reg = _obs.enable(_obs.MetricsRegistry())
+
+                def send(key=job.key, reg=reg):
+                    event_q.put(("beat", wid, key, 0.0, reg.snapshot()))
+
+            else:
+
+                def send(key=job.key):
+                    event_q.put(("beat", wid, key, 0.0))
+
+            send()
+            beat = Heartbeat(send, min_interval=HEARTBEAT_INTERVAL)
             try:
                 result = execute_job(job, cssg_memo, listeners=(beat,))
                 event_q.put(
@@ -293,10 +309,15 @@ class _Pool:
         workers: int,
         timeout: float,
         hang_timeout: Optional[float] = None,
+        collect_telemetry: bool = False,
     ):
         self.ctx = _mp_context()
         self.event_q = self.ctx.Queue()
         self.timeout = timeout
+        self.collect_telemetry = collect_telemetry
+        #: dispatch instant per job key, for queue-wait accounting.
+        self.dispatched_at: Dict[str, float] = {}
+        self.n_respawns = 0
         # Floor: below a few heartbeat intervals even a perfectly
         # beating job would be culled between relays.
         if hang_timeout is not None:
@@ -329,7 +350,9 @@ class _Pool:
         self.next_wid += 1
         task_q = self.ctx.Queue()
         proc = self.ctx.Process(
-            target=_worker_main, args=(wid, task_q, self.event_q), daemon=True
+            target=_worker_main,
+            args=(wid, task_q, self.event_q, self.collect_telemetry),
+            daemon=True,
         )
         proc.start()
         self.procs[wid] = proc
@@ -344,8 +367,11 @@ class _Pool:
         batch_id = self.next_batch_id
         self.next_batch_id += 1
         self.worker_remaining[wid] = list(batch)
-        self.worker_last_event[wid] = time.monotonic()
-        self.worker_last_beat[wid] = time.monotonic()
+        now = time.monotonic()
+        self.worker_last_event[wid] = now
+        self.worker_last_beat[wid] = now
+        for job in batch:
+            self.dispatched_at[job.key] = now
         self.task_qs[wid].put((batch_id, batch))
 
     def dispatch_all(self) -> None:
@@ -405,6 +431,8 @@ def run_campaign(
     progress: Optional[Callable[[JobOutcome, int, int], None]] = None,
     refresh: bool = False,
     hang_timeout: Optional[float] = DEFAULT_HANG_TIMEOUT,
+    collect_telemetry: bool = False,
+    dashboard=None,
 ) -> CampaignReport:
     """Resolve every job: from the cache when possible, else by running
     it.  ``workers=0`` executes in-process; ``workers=None`` uses the
@@ -418,10 +446,21 @@ def run_campaign(
     driven by flow events, so set ``hang_timeout`` above the longest
     *silent* stretch a healthy job can have: a single CSSG construction
     or one 3-phase product search emits nothing while it runs (a floor
-    of a few heartbeat intervals is enforced automatically)."""
+    of a few heartbeat intervals is enforced automatically).
+
+    ``collect_telemetry`` arms metrics collection (the parent's ambient
+    registry becomes the campaign-wide aggregate; workers record into
+    per-job registries whose snapshots are merged in as results
+    arrive).  ``dashboard`` is any object with ``on_beat(wid, key,
+    snapshot)`` / ``on_outcome(outcome, done, total)`` hooks — the
+    runner drives it, the caller owns (and closes) it.  Neither option
+    changes a single payload byte that reaches the store: the cache
+    always holds the canonical, telemetry-free result."""
     jobs = list(jobs)
     if workers is None:
         workers = os.cpu_count() or 1
+    if collect_telemetry and not _obs.enabled():
+        _obs.enable()
     start = time.perf_counter()
     outcomes: Dict[str, JobOutcome] = {}
     n_total = len(jobs)
@@ -429,9 +468,25 @@ def run_campaign(
     def resolve(outcome: JobOutcome) -> None:
         outcomes[outcome.job.key] = outcome
         if outcome.executed and store is not None and outcome.payload is not None:
-            store.put(outcome.job.key, outcome.payload)
+            payload = outcome.payload
+            if "telemetry" in payload:
+                # Never cache telemetry: it is wall-clock data specific
+                # to this run, and the store must keep serving the
+                # byte-deterministic payload a plain run would produce.
+                payload = {
+                    k: v for k, v in payload.items() if k != "telemetry"
+                }
+            store.put(outcome.job.key, payload)
+        if _obs.enabled():
+            _obs.get_registry().counter(
+                "repro_campaign_jobs_total",
+                "Campaign jobs resolved, by outcome status.",
+                ("status",),
+            ).labels(outcome.status).inc()
         if progress is not None:
             progress(outcome, len(outcomes), n_total)
+        if dashboard is not None:
+            dashboard.on_outcome(outcome, len(outcomes), n_total)
 
     pending: List[Job] = []
     for job in jobs:
@@ -471,7 +526,8 @@ def run_campaign(
                 )
     elif pending:
         _run_pool(
-            pending, min(workers, len(pending)), timeout, resolve, hang_timeout
+            pending, min(workers, len(pending)), timeout, resolve,
+            hang_timeout, collect_telemetry, dashboard,
         )
 
     return CampaignReport(
@@ -488,8 +544,10 @@ def _run_pool(
     timeout: float,
     resolve: Callable[[JobOutcome], None],
     hang_timeout: Optional[float] = None,
+    collect_telemetry: bool = False,
+    dashboard=None,
 ) -> None:
-    pool = _Pool(pending, workers, timeout, hang_timeout)
+    pool = _Pool(pending, workers, timeout, hang_timeout, collect_telemetry)
     unresolved = {j.key for j in pending}
     try:
         for _ in range(workers):
@@ -515,6 +573,10 @@ def _run_pool(
             if kind == "beat":
                 if wid in pool.procs:
                     pool.note_beat(wid)
+                if dashboard is not None:
+                    dashboard.on_beat(
+                        wid, key, event[4] if len(event) > 4 else None
+                    )
                 continue
             if kind == "batch-done":
                 if wid in pool.procs:
@@ -527,11 +589,44 @@ def _run_pool(
                 unresolved.discard(key)
                 job = pool.job_of[key]
                 if kind == "done":
-                    resolve(JobOutcome(job, "ran", payload=event[4], seconds=seconds))
+                    payload = event[4]
+                    _absorb_job_telemetry(pool, key, seconds, payload)
+                    resolve(JobOutcome(job, "ran", payload=payload, seconds=seconds))
                 else:
+                    _absorb_job_telemetry(pool, key, seconds, None)
                     resolve(JobOutcome(job, "failed", error=event[4], seconds=seconds))
     finally:
         pool.shutdown()
+
+
+def _absorb_job_telemetry(
+    pool: _Pool, key: str, seconds: float, payload: Optional[Dict]
+) -> None:
+    """Fold one finished worker job into the campaign-wide registry:
+    merge the per-job metrics snapshot the flow attached to the payload
+    (exactly once per job — beats carry in-flight snapshots for the
+    dashboard but are never merged), and record the run/queue-wait
+    split.  Queue wait is parent-side arithmetic: seconds since the
+    job's *batch* was dispatched, minus the run time the worker
+    reports."""
+    if not _obs.enabled():
+        return
+    reg = _obs.get_registry()
+    telemetry = (payload or {}).get("telemetry") or {}
+    snap = telemetry.get("metrics")
+    if snap:
+        reg.merge_snapshot(snap)
+    reg.histogram(
+        "repro_campaign_job_seconds", "Per-job ATPG run time (worker-side)."
+    ).observe(seconds)
+    dispatched = pool.dispatched_at.pop(key, None)
+    if dispatched is not None:
+        wait = (time.monotonic() - dispatched) - seconds
+        reg.histogram(
+            "repro_campaign_queue_wait_seconds",
+            "Seconds a job spent dispatched but not running "
+            "(waiting behind its batch).",
+        ).observe(max(0.0, wait))
 
 
 def _police_workers(pool: _Pool, unresolved, resolve) -> None:
@@ -580,3 +675,10 @@ def _police_workers(pool: _Pool, unresolved, resolve) -> None:
             pool.requeue_first(rest)
         if unresolved and len(pool.procs) < pool.target_workers:
             pool.spawn()
+            pool.n_respawns += 1
+            if _obs.enabled():
+                _obs.get_registry().counter(
+                    "repro_campaign_worker_respawns_total",
+                    "Workers replaced after dying, timing out, or hanging.",
+                    ("reason",),
+                ).labels(status).inc()

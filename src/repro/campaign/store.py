@@ -22,6 +22,8 @@ import tempfile
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Union
 
+from repro.obs import metrics as _obs
+
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR``, or ``$XDG_CACHE_HOME/repro``, or
@@ -51,8 +53,18 @@ class ResultStore:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (OSError, ValueError):
-            return None
-        return payload if isinstance(payload, dict) else None
+            payload = None
+        if not isinstance(payload, dict):
+            payload = None
+        if _obs.enabled():
+            # Keys embed the result schema version, so a raw store hit
+            # is a semantic cache hit: nothing stale ever gets a hit.
+            _obs.get_registry().counter(
+                "repro_campaign_cache_requests_total",
+                "Result-store lookups, by outcome.",
+                ("outcome",),
+            ).labels("miss" if payload is None else "hit").inc()
+        return payload
 
     def put(self, key: str, payload: Dict) -> Path:
         """Atomically persist ``payload`` under ``key``."""

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -125,6 +126,38 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="write the flow's event stream as JSON lines to FILE",
     )
     parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help=(
+            "collect run metrics and write them to FILE on exit "
+            "(Prometheus text format; JSON when FILE ends in .json)"
+        ),
+    )
+    parser.add_argument(
+        "--spans",
+        default=None,
+        metavar="FILE",
+        help="trace the run's spans and write them as JSON lines to FILE",
+    )
+    parser.add_argument(
+        "--self-profile",
+        action="store_true",
+        help=(
+            "trace the run's spans and print the aggregated span table "
+            "(calls, total/self seconds) to stderr"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="FILE",
+        help=(
+            "run under cProfile, dump stats to FILE (.pstats) and print "
+            "the top 20 functions by cumulative time to stderr"
+        ),
+    )
+    parser.add_argument(
         "--show-tests", action="store_true", help="print every generated sequence"
     )
     parser.add_argument(
@@ -193,13 +226,37 @@ def main(argv=None) -> int:
                 print(f"error: cannot open trace file: {exc}", file=sys.stderr)
                 return 1
             listeners.append(trace)
+        tracer = None
+        if args.spans or args.self_profile:
+            from repro.obs import Tracer
+
+            tracer = Tracer()
+        if args.metrics:
+            from repro.obs import MetricsRegistry, enable
+
+            enable(MetricsRegistry())
         try:
-            result = Flow.default().run(circuit, options, listeners=listeners)
+            result = _run_observed(circuit, options, listeners, tracer, args)
         finally:
             if progress is not None:
                 progress.close()
             if trace is not None:
                 trace.close()
+            if args.metrics:
+                from repro.obs import disable
+
+                disable()  # one-shot: don't leave the global switch armed
+        if args.metrics:
+            from repro.obs import get_registry, write_metrics
+
+            write_metrics(args.metrics, get_registry())
+        if tracer is not None:
+            if args.spans:
+                tracer.write_jsonl(args.spans)
+            if args.self_profile:
+                from repro.obs import format_profile
+
+                print(format_profile(tracer.profile()), file=sys.stderr)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -220,6 +277,35 @@ def main(argv=None) -> int:
                 label += f": {record.reason}"
             print(f"  undetected [{label}]: {fault.describe(circuit)}")
     return 0
+
+
+def _run_observed(circuit, options, listeners, tracer, args):
+    """One flow run under whatever observability the flags selected:
+    an explicit tracer scope (``--spans`` / ``--self-profile``) and/or
+    a cProfile wrap (``--profile``, top-20 cumulative to stderr)."""
+    from contextlib import nullcontext
+
+    from repro.obs import use_tracer
+
+    scope = use_tracer(tracer) if tracer is not None else nullcontext()
+    with scope:
+        if not args.profile:
+            return Flow.default().run(circuit, options, listeners=listeners)
+        import cProfile
+        import pstats
+
+        directory = os.path.dirname(os.path.abspath(args.profile))
+        os.makedirs(directory, exist_ok=True)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            result = Flow.default().run(circuit, options, listeners=listeners)
+        finally:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(20)
+        return result
 
 
 # ---------------------------------------------------------------------------
@@ -328,6 +414,24 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress on stderr"
     )
+    parser.add_argument(
+        "--dashboard",
+        action="store_true",
+        help=(
+            "live campaign dashboard on stderr (jobs done/running/hung, "
+            "classification rates, cache hit ratio); also collects "
+            "campaign-wide telemetry from the workers"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help=(
+            "collect campaign-wide telemetry and write the merged "
+            "metrics to FILE on exit (Prometheus text; JSON for .json)"
+        ),
+    )
     return parser
 
 
@@ -395,15 +499,42 @@ def campaign_main(argv=None) -> int:
         print(line, file=sys.stderr)
 
     title = "Table-2 campaign" if args.table2 else "Campaign"
-    report = run_campaign(
-        jobs,
-        workers=args.workers,
-        store=store,
-        timeout=args.timeout if args.timeout is not None else DEFAULT_JOB_TIMEOUT,
-        progress=progress,
-        refresh=args.refresh,
-        hang_timeout=args.hang_timeout,
-    )
+    collect_telemetry = args.dashboard or bool(args.metrics)
+    dashboard = None
+    if args.dashboard:
+        from repro.obs import CampaignDashboard, MetricsRegistry, enable
+
+        enable(MetricsRegistry())
+        dashboard = CampaignDashboard(total_jobs=len(jobs))
+    elif args.metrics:
+        from repro.obs import MetricsRegistry, enable
+
+        enable(MetricsRegistry())
+    try:
+        report = run_campaign(
+            jobs,
+            workers=args.workers,
+            store=store,
+            timeout=args.timeout if args.timeout is not None else DEFAULT_JOB_TIMEOUT,
+            # The dashboard owns the stderr frame; per-job progress
+            # lines would tear it.
+            progress=None if args.dashboard else progress,
+            refresh=args.refresh,
+            hang_timeout=args.hang_timeout,
+            collect_telemetry=collect_telemetry,
+            dashboard=dashboard,
+        )
+    finally:
+        if dashboard is not None:
+            dashboard.close()
+        if collect_telemetry:
+            from repro.obs import disable
+
+            disable()  # one-shot: don't leave the global switch armed
+    if args.metrics:
+        from repro.obs import get_registry, write_metrics
+
+        write_metrics(args.metrics, get_registry())
     if args.out:
         write_artifacts(args.out, report, spec, title=title)
     if args.json:

@@ -41,8 +41,12 @@ from repro.sgraph.cssg import Cssg, build_cssg
 #: ``faults`` / ``statuses`` / ``tests`` arrays — same ``[kind, gate,
 #: site, value]`` element shape, new ``kind`` vocabulary — so caches
 #: written by stuck-at-only readers are never asked to hold records
-#: they cannot interpret.
-RESULT_SCHEMA_VERSION = 4
+#: they cannot interpret.  Version 5 added the *optional* ``telemetry``
+#: block (per-stage wall times, BDD cache counters, metrics snapshot) —
+#: present only when the run executed under an active tracer or with
+#: metrics enabled, absent (not null) otherwise, so default payloads
+#: keep their historical byte-exact form.
+RESULT_SCHEMA_VERSION = 5
 
 
 @dataclass
@@ -191,6 +195,11 @@ class AtpgResult:
     n_fault_sim: int = 0
     n_undetectable: int = 0
     n_aborted: int = 0
+    #: Opt-in observability block (see :mod:`repro.obs`): per-stage wall
+    #: times, BDD cache counters, and — when metrics are enabled — a
+    #: registry snapshot.  ``None`` (and absent from the JSON form) for
+    #: default runs, so cached payload digests are unaffected.
+    telemetry: Optional[Dict] = None
 
     @property
     def n_total(self) -> int:
@@ -238,8 +247,10 @@ class AtpgResult:
         """Canonical JSON form: the whole Table 1/2 row plus every test
         and per-fault verdict.  ``from_json_dict`` inverts it; two runs
         are *the same result* iff these dicts agree up to
-        ``cpu_seconds``."""
-        return {
+        ``cpu_seconds`` (and the opt-in ``telemetry`` block, which
+        carries wall-clock data and is only present for observed
+        runs)."""
+        doc = {
             "schema_version": RESULT_SCHEMA_VERSION,
             "circuit": {
                 "name": self.circuit.name,
@@ -274,6 +285,9 @@ class AtpgResult:
             "n_undetectable": self.n_undetectable,
             "n_aborted": self.n_aborted,
         }
+        if self.telemetry is not None:
+            doc["telemetry"] = self.telemetry
+        return doc
 
     @staticmethod
     def from_json_dict(data: Dict, circuit: Circuit) -> "AtpgResult":
@@ -320,6 +334,7 @@ class AtpgResult:
             n_fault_sim=int(data["n_fault_sim"]),
             n_undetectable=int(data["n_undetectable"]),
             n_aborted=int(data["n_aborted"]),
+            telemetry=data.get("telemetry"),
         )
 
 

@@ -16,7 +16,9 @@ the same typed stream:
 from __future__ import annotations
 
 import json
+import os
 import sys
+import tempfile
 import time
 from typing import Callable, IO, Optional, Union
 
@@ -34,12 +36,20 @@ __all__ = ["ProgressLine", "TraceWriter", "Heartbeat"]
 
 
 class ProgressLine:
-    """Rewrites one status line per event batch: stage, progress,
-    running totals.  Call :meth:`close` (or use as a context manager)
-    to terminate the line with a newline."""
+    """A live status line: stage, progress, running totals.
 
-    def __init__(self, stream: Optional[IO] = None):
+    On a TTY the line is rewritten in place (``\\r``) on every event.
+    When the stream is *not* a terminal (piped output, CI logs) the
+    carriage-return dance would pollute the log with one mangled
+    mega-line, so the consumer switches to periodic plain lines
+    instead: one line per stage boundary plus at most one line per
+    ``plain_interval`` seconds in between, each newline-terminated.
+    Call :meth:`close` (or use as a context manager) to terminate the
+    output with a final status line / newline."""
+
+    def __init__(self, stream: Optional[IO] = None, plain_interval: float = 2.0):
         self.stream = stream if stream is not None else sys.stderr
+        self.plain_interval = plain_interval
         self.stage = ""
         self.done = 0
         self.total = 0
@@ -47,11 +57,15 @@ class ProgressLine:
         self.tests = 0
         self.aborted = 0
         self._dirty = False
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._last_plain = float("-inf")
 
     def __call__(self, event: FlowEvent) -> None:
+        boundary = False
         if isinstance(event, StageStarted):
             self.stage = event.stage
             self.done = self.total = 0
+            boundary = True
         elif isinstance(event, ProgressTick):
             self.stage = event.stage
             self.done, self.total = event.done, event.total
@@ -64,25 +78,43 @@ class ProgressLine:
             self.tests = event.index + 1
         elif isinstance(event, BudgetExhausted):
             self.stage = f"{event.stage} (budget!)"
+            boundary = True
         elif isinstance(event, StageFinished):
             self.done = self.total
-        self._render()
+            boundary = True
+        self._render(boundary)
 
-    def _render(self) -> None:
+    def _line(self) -> str:
         progress = f" {self.done}/{self.total}" if self.total else ""
-        line = (
-            f"\r[{self.stage or 'setup'}]{progress} "
+        return (
+            f"[{self.stage or 'setup'}]{progress} "
             f"covered={self.covered} tests={self.tests} aborted={self.aborted}"
         )
-        self.stream.write(line.ljust(66))
+
+    def _render(self, boundary: bool = False) -> None:
+        if self._tty:
+            self.stream.write(("\r" + self._line()).ljust(66))
+            self.stream.flush()
+            self._dirty = True
+            return
+        now = time.monotonic()
+        if not boundary and now - self._last_plain < self.plain_interval:
+            return
+        self._last_plain = now
+        self.stream.write(self._line() + "\n")
         self.stream.flush()
-        self._dirty = True
 
     def close(self) -> None:
-        if self._dirty:
-            self.stream.write("\n")
+        if self._tty:
+            if self._dirty:
+                self.stream.write("\n")
+                self.stream.flush()
+                self._dirty = False
+        else:
+            # Final state line, so a piped consumer always sees the
+            # closing totals even if the last periodic line was stale.
+            self.stream.write(self._line() + "\n")
             self.stream.flush()
-            self._dirty = False
 
     def __enter__(self) -> "ProgressLine":
         return self
@@ -93,31 +125,79 @@ class ProgressLine:
 
 class TraceWriter:
     """Writes every event as one JSON line: ``{"seq": N, "t": secs,
-    "event": "FaultClassified", ...}``.  A path target is truncated on
-    open; pass an open handle to control the file mode.  ``t`` is
-    seconds since the writer was created (wall clock — strip it when
-    diffing traces)."""
+    "event": "FaultClassified", ...}``.  ``t`` is seconds since the
+    writer was created (wall clock — strip it when diffing traces).
+
+    A *path* target gets the same atomic-write discipline as the
+    campaign result store: records accumulate in a same-directory temp
+    file (binary mode, so byte offsets are exact), a watermark tracks
+    the end of the last *complete* record, and :meth:`close` truncates
+    to the watermark before ``os.replace``-ing the temp file into
+    place.  A crash mid-run leaves no file at the target path; an
+    exception mid-record (disk full, encoding error) can never publish
+    a truncated JSON line — the half-record is cut at close.  The file
+    is flushed at every ``StageFinished``, so the temp file on disk is
+    near-current during long runs.
+
+    Pass an open *handle* to keep full control of the file: records are
+    written through directly (non-atomic), and :meth:`close` flushes
+    without closing or replacing anything."""
 
     def __init__(self, target: Union[str, IO]):
         if isinstance(target, str):
-            self._handle: IO = open(target, "w", encoding="utf-8")
+            directory = os.path.dirname(os.path.abspath(target))
+            fd, self._tmp_path = tempfile.mkstemp(
+                dir=directory, prefix=".trace-", suffix=".tmp"
+            )
+            self._handle: IO = os.fdopen(fd, "wb")
+            self._final_path: Optional[str] = target
             self._owns = True
         else:
             self._handle = target
+            self._tmp_path = None
+            self._final_path = None
             self._owns = False
         self._seq = 0
         self._t0 = time.perf_counter()
+        self._complete = 0  # byte watermark after the last full record
+        self._closed = False
 
     def __call__(self, event: FlowEvent) -> None:
         doc = {"seq": self._seq, "t": round(time.perf_counter() - self._t0, 6)}
         doc.update(event.to_json_dict())
-        self._handle.write(json.dumps(doc, separators=(",", ":")) + "\n")
+        line = json.dumps(doc, separators=(",", ":")) + "\n"
+        if self._owns:
+            self._handle.write(line.encode("utf-8"))
+            self._complete = self._handle.tell()
+        else:
+            self._handle.write(line)
         self._seq += 1
+        if isinstance(event, StageFinished):
+            self._handle.flush()
 
     def close(self) -> None:
-        self._handle.flush()
-        if self._owns:
+        """Publish the trace.  Safe to call after an error and more
+        than once; the published file always ends on a record
+        boundary."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._owns:
+            self._handle.flush()
+            return
+        try:
+            self._handle.flush()
+            self._handle.truncate(self._complete)
             self._handle.close()
+            os.replace(self._tmp_path, self._final_path)
+        except BaseException:
+            try:
+                if not self._handle.closed:
+                    self._handle.close()
+                os.unlink(self._tmp_path)
+            except OSError:
+                pass
+            raise
 
     def __enter__(self) -> "TraceWriter":
         return self

@@ -122,14 +122,18 @@ class EventBus:
     """Synchronous fan-out of flow events to subscribed listeners.
 
     Listeners are plain callables invoked in subscription order, on the
-    thread that runs the flow.  A listener that raises aborts the run —
-    consumers doing fallible I/O (trace files) should catch their own
-    errors if they want to be best-effort.
+    thread that runs the flow.  Listeners are *isolated*: one that
+    raises is unsubscribed after its first error and the exception is
+    surfaced once as a :class:`RuntimeWarning` — the run completes and
+    every other listener keeps receiving the full stream.  (Consumers
+    doing fallible I/O still get exactly one warning naming them, so a
+    broken trace file is visible without killing hours of ATPG.)
     """
 
     def __init__(self) -> None:
         self._listeners: List[Listener] = []
         self.n_emitted = 0
+        self.n_listener_errors = 0
 
     def subscribe(self, listener: Listener) -> Listener:
         self._listeners.append(listener)
@@ -140,5 +144,26 @@ class EventBus:
 
     def emit(self, event: FlowEvent) -> None:
         self.n_emitted += 1
+        broken = None
         for listener in self._listeners:
-            listener(event)
+            try:
+                listener(event)
+            except Exception as exc:
+                # Unsubscribe after the loop (mutating the list we are
+                # iterating would skip the next listener) and warn once.
+                if broken is None:
+                    broken = []
+                broken.append((listener, exc))
+        if broken is not None:
+            import warnings
+
+            for listener, exc in broken:
+                self.n_listener_errors += 1
+                self._listeners.remove(listener)
+                warnings.warn(
+                    f"event listener {listener!r} raised "
+                    f"{type(exc).__name__}: {exc} on "
+                    f"{type(event).__name__}; unsubscribed",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )

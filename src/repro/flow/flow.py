@@ -107,43 +107,97 @@ class Flow:
         overrides the one ``options`` implies (deadline + per-fault
         caps) — mainly for tests that inject a fake clock.
         """
+        from repro.obs import metrics as obs_metrics
+        from repro.obs.trace import active as tracing_active, get_tracer
+
         opts = options if options is not None else AtpgOptions()
         bus = EventBus()
         for listener in listeners:
             bus.subscribe(listener)
+        # Observability is ambient, never part of the call contract:
+        # with metrics enabled the run also feeds a MetricsConsumer, and
+        # every stage runs under a tracer span.  Both are observational
+        # only — the event stream and the default serialized payload are
+        # byte-identical with or without them; the opt-in `telemetry`
+        # block below is the single exception.
+        observing = obs_metrics.enabled() or tracing_active()
+        if obs_metrics.enabled():
+            from repro.obs.metrics import MetricsConsumer
+
+            bus.subscribe(MetricsConsumer())
+        tracer = get_tracer()
+        stage_seconds: "dict" = {}
         start = time.perf_counter()
         run_budget = budget if budget is not None else Budget.from_options(opts)
         run_budget.start()
         if faults is None:
             faults = fault_universe(circuit, opts.fault_model)
-        if cssg is None:
-            bus.emit(StageStarted("cssg", len(faults)))
-            t0 = time.perf_counter()
-            cssg = cssg_for(circuit, opts)
-            bus.emit(
-                StageFinished(
-                    "cssg",
-                    time.perf_counter() - t0,
-                    f"{cssg.n_states} states / {cssg.n_edges} edges "
-                    f"[{cssg.method}]",
+        with tracer.span(
+            "flow.run", circuit=circuit.name, fault_model=opts.fault_model
+        ):
+            if cssg is None:
+                bus.emit(StageStarted("cssg", len(faults)))
+                t0 = time.perf_counter()
+                with tracer.span("stage.cssg"):
+                    cssg = cssg_for(circuit, opts)
+                stage_seconds["cssg"] = time.perf_counter() - t0
+                bus.emit(
+                    StageFinished(
+                        "cssg",
+                        time.perf_counter() - t0,
+                        f"{cssg.n_states} states / {cssg.n_edges} edges "
+                        f"[{cssg.method}]",
+                    )
                 )
+            ctx = RunContext(
+                circuit, opts, cssg, list(faults), bus=bus, budget=run_budget
             )
-        ctx = RunContext(
-            circuit, opts, cssg, list(faults), bus=bus, budget=run_budget
-        )
-        for stage in self.stages:
-            if not stage.enabled(ctx):
-                continue
-            ctx.stage = stage.name
-            bus.emit(StageStarted(stage.name, len(ctx.remaining())))
-            t0 = time.perf_counter()
-            stage.run(ctx)
-            detail = ""
-            stats = ctx.stage_stats.get(stage.name)
-            if stats:
-                detail = " ".join(
-                    f"{key}={value}" for key, value in sorted(stats.items())
+            for stage in self.stages:
+                if not stage.enabled(ctx):
+                    continue
+                ctx.stage = stage.name
+                bus.emit(StageStarted(stage.name, len(ctx.remaining())))
+                t0 = time.perf_counter()
+                with tracer.span(f"stage.{stage.name}"):
+                    stage.run(ctx)
+                stage_seconds[stage.name] = time.perf_counter() - t0
+                detail = ""
+                stats = ctx.stage_stats.get(stage.name)
+                if stats:
+                    detail = " ".join(
+                        f"{key}={value}" for key, value in sorted(stats.items())
+                    )
+                bus.emit(
+                    StageFinished(stage.name, time.perf_counter() - t0, detail)
                 )
-            bus.emit(StageFinished(stage.name, time.perf_counter() - t0, detail))
-        ctx.stage = ""
-        return ctx.finish(time.perf_counter() - start)
+            ctx.stage = ""
+            result = ctx.finish(time.perf_counter() - start)
+        if observing:
+            result.telemetry = self._telemetry_block(
+                cssg, stage_seconds, obs_metrics
+            )
+        return result
+
+    @staticmethod
+    def _telemetry_block(cssg, stage_seconds, obs_metrics) -> dict:
+        """The opt-in ``telemetry`` payload block: per-stage wall times,
+        symbolic-kernel cache counters, and — with metrics armed — the
+        run's registry snapshot.  Only attached when observability is
+        active, so default runs keep their historical byte-exact
+        payloads (and cache digests)."""
+        block: "dict" = {
+            "stage_seconds": {
+                name: round(dt, 6) for name, dt in stage_seconds.items()
+            }
+        }
+        stats = getattr(cssg, "stats", None)
+        if stats is not None:
+            block["bdd"] = {
+                "cache_hits": getattr(stats, "n_cache_hits", 0),
+                "cache_lookups": getattr(stats, "n_cache_lookups", 0),
+                "peak_nodes": stats.peak_bdd_nodes,
+                "gc_passes": stats.n_gc_passes,
+            }
+        if obs_metrics.enabled():
+            block["metrics"] = obs_metrics.get_registry().snapshot()
+        return block

@@ -1,0 +1,83 @@
+"""Observability: metrics, span tracing, and the campaign dashboard.
+
+The telemetry subsystem the rest of the package reports into — see
+``docs/observability.md`` for the full taxonomy and examples:
+
+* :mod:`repro.obs.metrics` — labeled counters / gauges / fixed-bucket
+  histograms in a :class:`MetricsRegistry`, a process-global default
+  registry behind an :func:`enabled` switch, and the
+  :class:`MetricsConsumer` that derives flow metrics from the event
+  stream;
+* :mod:`repro.obs.trace` — :class:`Tracer` context-manager spans (the
+  only home of wall-clock data), the ambient-tracer pattern
+  (:func:`get_tracer` / :func:`use_tracer`, no-op by default), and the
+  self-profile table;
+* :mod:`repro.obs.export` — zero-dependency Prometheus-text and JSON
+  exposition plus a minimal parser for CI assertions;
+* :mod:`repro.obs.dashboard` — the live ``repro-campaign --dashboard``
+  terminal screen.
+
+Everything here is observational: enabling any of it never changes the
+flow's event stream or serialized results beyond the explicitly
+opt-in ``telemetry`` block.
+"""
+
+from repro.obs.dashboard import CampaignDashboard
+from repro.obs.export import (
+    parse_prometheus_text,
+    to_json_text,
+    to_prometheus_text,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsConsumer,
+    MetricsRegistry,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+    set_registry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    active,
+    format_profile,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "CampaignDashboard",
+    "parse_prometheus_text",
+    "to_json_text",
+    "to_prometheus_text",
+    "write_metrics",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsConsumer",
+    "MetricsRegistry",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "set_registry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "active",
+    "format_profile",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]

@@ -1,0 +1,184 @@
+"""The live campaign dashboard: one terminal screen, updated in place.
+
+``repro-campaign --dashboard`` wires a :class:`CampaignDashboard` into
+the runner's progress callbacks.  It renders a single-screen summary —
+job states (done / running / cached / failed / hung), aggregate
+fault-classification rates merged from worker metric snapshots, the
+result-cache hit ratio, and an ETA — redrawn in place on a TTY (ANSI
+cursor-up) and emitted as throttled plain snapshot lines when the
+stream is piped (CI logs stay readable, mirroring
+:class:`~repro.flow.consumers.ProgressLine`'s non-TTY discipline).
+
+The runner drives it through three duck-typed hooks, so any object
+with the same surface can stand in (tests use a plain recorder):
+
+* ``on_beat(wid, key, snapshot)`` — a worker heartbeat, with its
+  per-job metrics snapshot (may be ``None``);
+* ``on_outcome(outcome, done, total)`` — a job resolved;
+* ``close()`` — campaign over; prints the final summary state.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, IO, Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["CampaignDashboard"]
+
+#: Beats older than this are no longer evidence the job is running.
+_STALE_BEAT_SECONDS = 5.0
+
+
+class CampaignDashboard:
+    """Aggregates campaign progress into one redrawn terminal screen.
+
+    ``registry`` is the campaign-wide :class:`MetricsRegistry` the
+    runner merges worker snapshots into — by default the ambient
+    registry (:func:`repro.obs.metrics.get_registry`), which is exactly
+    where ``run_campaign(collect_telemetry=True)`` aggregates.  The
+    dashboard reads the aggregate fault-classification and cache
+    counters from it instead of keeping a parallel ledger.
+    """
+
+    def __init__(
+        self,
+        total_jobs: int,
+        registry: Optional[MetricsRegistry] = None,
+        stream: Optional[IO] = None,
+        min_interval: float = 0.25,
+    ):
+        self.total = total_jobs
+        self.registry = registry if registry is not None else get_registry()
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._t0 = time.monotonic()
+        self._last_draw = float("-inf")
+        self._drawn_lines = 0
+        self.done = 0
+        self.counts: Dict[str, int] = {}
+        #: job key -> last beat monotonic time (the running set).
+        self._beats: Dict[str, float] = {}
+        self.n_frames = 0
+
+    # -- runner hooks ----------------------------------------------------
+
+    def on_beat(self, wid: int, key: str, snapshot: Optional[Dict]) -> None:
+        self._beats[key] = time.monotonic()
+        self._maybe_draw()
+
+    def on_outcome(self, outcome, done: int, total: int) -> None:
+        self.done = done
+        self.total = total
+        self.counts[outcome.status] = self.counts.get(outcome.status, 0) + 1
+        self._beats.pop(outcome.job.key, None)
+        self._maybe_draw(force=outcome.status not in ("cached", "ran"))
+
+    def close(self) -> None:
+        """Final frame (always drawn), then leave the cursor below it."""
+        self._draw()
+        if self._tty and self._drawn_lines:
+            self._drawn_lines = 0  # leave the last frame on screen
+        self.stream.flush()
+
+    # -- rendering -------------------------------------------------------
+
+    def _running(self) -> int:
+        now = time.monotonic()
+        stale = [
+            k for k, t in self._beats.items()
+            if now - t > _STALE_BEAT_SECONDS
+        ]
+        for k in stale:
+            del self._beats[k]
+        return len(self._beats)
+
+    def _classification_rates(self) -> str:
+        reg = self.registry
+        family = reg.get("repro_flow_faults_classified_total")
+        if family is None:
+            return "faults: (no samples yet)"
+        by_status: Dict[str, float] = {}
+        total = 0.0
+        for (status, _reason), child in family.children():
+            by_status[status] = by_status.get(status, 0.0) + child.value
+            total += child.value
+        if not total:
+            return "faults: (no samples yet)"
+        parts = " ".join(
+            f"{status}={int(n)} ({100.0 * n / total:.1f}%)"
+            for status, n in sorted(by_status.items())
+        )
+        return f"faults: {parts}"
+
+    def _cache_line(self) -> str:
+        reg = self.registry
+        hits = reg.value("repro_campaign_cache_requests_total", "hit")
+        misses = reg.value("repro_campaign_cache_requests_total", "miss")
+        asked = hits + misses
+        if not asked:
+            return "cache: (disabled)"
+        return (
+            f"cache: {int(hits)}/{int(asked)} hits "
+            f"({100.0 * hits / asked:.1f}%)"
+        )
+
+    def _eta_seconds(self) -> Optional[float]:
+        if not self.done or self.done >= self.total:
+            return None
+        elapsed = time.monotonic() - self._t0
+        return elapsed / self.done * (self.total - self.done)
+
+    def render(self) -> str:
+        """The current frame as text (no cursor control)."""
+        elapsed = time.monotonic() - self._t0
+        ran = self.counts.get("ran", 0)
+        cached = self.counts.get("cached", 0)
+        failed = sum(
+            n for status, n in self.counts.items()
+            if status not in ("ran", "cached")
+        )
+        hung = self.counts.get("hung", 0)
+        eta = self._eta_seconds()
+        eta_text = f"{eta:.0f}s" if eta is not None else "-"
+        bar_width = 24
+        frac = self.done / self.total if self.total else 1.0
+        filled = int(round(bar_width * frac))
+        bar = "#" * filled + "-" * (bar_width - filled)
+        lines = [
+            f"campaign [{bar}] {self.done}/{self.total} jobs  "
+            f"elapsed {elapsed:.1f}s  eta {eta_text}",
+            f"jobs: ran={ran} cached={cached} failed={failed} hung={hung} "
+            f"running={self._running()}",
+            self._classification_rates(),
+            self._cache_line(),
+        ]
+        return "\n".join(lines)
+
+    def _maybe_draw(self, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_draw < self.min_interval:
+            return
+        self._draw()
+
+    def _draw(self) -> None:
+        self._last_draw = time.monotonic()
+        self.n_frames += 1
+        frame = self.render()
+        if self._tty:
+            if self._drawn_lines:
+                # Repaint in place: up N lines, then overwrite each
+                # (clearing to end of line) — no full-screen clear.
+                self.stream.write(f"\x1b[{self._drawn_lines}F")
+            self.stream.write(
+                "".join(f"\x1b[2K{line}\n" for line in frame.splitlines())
+            )
+            self._drawn_lines = len(frame.splitlines())
+        else:
+            # Piped / CI: one compact snapshot line per draw.
+            flat = " | ".join(frame.splitlines())
+            self.stream.write(flat + "\n")
+        self.stream.flush()

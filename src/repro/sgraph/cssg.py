@@ -59,6 +59,13 @@ class CssgStats:
     n_gc_passes: int = 0
     n_reorders: int = 0
     n_image_iterations: int = 0
+    # ITE-cache effectiveness of the symbolic kernel.  In-memory /
+    # telemetry only: deliberately NOT part of the serialized ``cssg``
+    # block (they are performance facts, not result facts) — the
+    # telemetry block in :class:`repro.core.atpg.AtpgResult` carries
+    # them for observed runs.
+    n_cache_hits: int = 0
+    n_cache_lookups: int = 0
 
 
 @dataclass
@@ -209,6 +216,14 @@ def frontier_traverse(
     validity analysis — the only thing the builders differ in.  Raises
     :class:`StateGraphError` past ``cap_states`` stable states.
     """
+    from repro.obs.trace import get_tracer
+
+    with get_tracer().span("cssg.traverse", circuit=cssg.circuit.name):
+        _frontier_loop(cssg, analyse, max_input_changes, cap_states)
+    return cssg
+
+
+def _frontier_loop(cssg, analyse, max_input_changes, cap_states) -> None:
     circuit = cssg.circuit
     stats = cssg.stats
     all_patterns = list(range(1 << circuit.n_inputs))
@@ -248,7 +263,6 @@ def frontier_traverse(
                     next_frontier.append(t)
             cssg.edges[s] = out_edges
         frontier = next_frontier
-    return cssg
 
 
 @runtime_checkable

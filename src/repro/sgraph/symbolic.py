@@ -219,21 +219,29 @@ class SymbolicTcsg:
         """Least fixpoint of the TCSG relation R_I ∪ R_delta from reset,
         frontier-based: each iteration computes the image of the newly
         reached states only."""
+        from repro.obs.trace import get_tracer
+
         mgr = self.mgr
+        tracer = get_tracer()
         if from_states is None:
             from_states = self.state_bdd(self.circuit.require_reset())
         reached = from_states
         frontier = from_states
-        for _ in range(max_iters):
-            img = mgr.apply_or(
-                self.delta_image(frontier), self.input_image(frontier)
-            )
-            new = mgr.apply_and(img, reached ^ 1)
-            if new == FALSE:
-                return reached
-            reached = mgr.apply_or(reached, new)
-            frontier = new
-            self._checkpoint(reached, frontier)
+        with tracer.span("cssg.reach"):
+            for iteration in range(max_iters):
+                # One span per frontier *iteration*, not per image call —
+                # iterations are the natural unit and stay rare enough
+                # that tracing cannot perturb the kernel.
+                with tracer.span("cssg.image", iteration=iteration):
+                    img = mgr.apply_or(
+                        self.delta_image(frontier), self.input_image(frontier)
+                    )
+                    new = mgr.apply_and(img, reached ^ 1)
+                    if new == FALSE:
+                        return reached
+                    reached = mgr.apply_or(reached, new)
+                    frontier = new
+                    self._checkpoint(reached, frontier)
         raise StateGraphError("symbolic reachability did not converge")
 
     def stable_reachable(self, from_states: Optional[int] = None) -> int:
@@ -338,3 +346,8 @@ class SymbolicTcsg:
         stats.n_gc_passes = mstats.n_gc_passes
         stats.n_reorders = mstats.n_reorders
         stats.n_image_iterations = self.n_image_iterations
+        stats.n_cache_hits = mstats.cache_hits
+        stats.n_cache_lookups = mstats.cache_lookups
+        # Small builds may never cross a GC/sift boundary — flush the
+        # kernel counters so armed runs always see repro_bdd_* series.
+        self.mgr.publish_metrics()

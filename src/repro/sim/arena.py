@@ -44,11 +44,13 @@ Both are exercised against the legacy oracles by ``tests/test_arena.py``.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
 from repro.circuit.faults import Fault
 from repro.circuit.netlist import Circuit
 from repro.errors import SimulationError
+from repro.obs import metrics as _obs
 from repro.sim.engine import SimEngine, _emit_eval, _exec, engine_for
 
 try:
@@ -244,6 +246,56 @@ def _codegen_walk(engine: SimEngine) -> str:
     return "\n".join(lines)
 
 
+class _WalkMeter:
+    """Throughput accounting for one walk, when metrics are enabled.
+
+    ``units`` is lane-words × gates — the amount of word-parallel work
+    one test cycle performs — so the published rate is the packed-sim
+    ``words·gates/sec`` figure of merit.  Registry updates are batched
+    (one flush per :data:`_BATCH` steps): the per-step cost is two
+    ``perf_counter`` calls and two float adds."""
+
+    __slots__ = ("units", "_steps", "_seconds", "_ctr_steps",
+                 "_ctr_seconds", "_rate")
+
+    _BATCH = 64
+
+    def __init__(self, engine: SimEngine):
+        reg = _obs.get_registry()
+        words = (max(1, engine.width) + _WORD - 1) // _WORD
+        self.units = words * max(1, len(engine.circuit.gates))
+        self._steps = 0
+        self._seconds = 0.0
+        self._ctr_steps = reg.counter(
+            "repro_sim_walk_steps_total", "Arena walk test cycles executed."
+        )
+        self._ctr_seconds = reg.counter(
+            "repro_sim_walk_seconds_total",
+            "Wall-clock seconds inside arena walk steps.",
+        )
+        self._rate = reg.gauge(
+            "repro_sim_words_gates_per_sec",
+            "Arena walk throughput: lane words x gates per second "
+            "(last flushed batch).",
+        )
+
+    def record(self, seconds: float) -> None:
+        self._steps += 1
+        self._seconds += seconds
+        if self._steps >= self._BATCH:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._steps:
+            return
+        self._ctr_steps.inc(self._steps)
+        self._ctr_seconds.inc(self._seconds)
+        if self._seconds > 0.0:
+            self._rate.set(self._steps * self.units / self._seconds)
+        self._steps = 0
+        self._seconds = 0.0
+
+
 class ArenaWalk:
     """One in-flight walk over a packed fault batch.
 
@@ -251,16 +303,25 @@ class ArenaWalk:
     cycle returning the detection mask, :meth:`observe` re-observes the
     current state (observation 0 after reset), :meth:`state` snapshots
     the per-signal words as a ``FaultBatch``-compatible state tuple.
+    With metrics disabled (the default) stepping pays a single ``is
+    None`` check on top of the generator send.
     """
 
-    __slots__ = ("_gen",)
+    __slots__ = ("_gen", "_meter")
 
-    def __init__(self, gen):
+    def __init__(self, gen, meter: Optional[_WalkMeter] = None):
         self._gen = gen
+        self._meter = meter
 
     def step(self, pattern: int, good_state: int) -> int:
         """Drive ``pattern``, settle, observe against ``good_state``."""
-        return self._gen.send((pattern, good_state))
+        meter = self._meter
+        if meter is None:
+            return self._gen.send((pattern, good_state))
+        t0 = perf_counter()
+        det = self._gen.send((pattern, good_state))
+        meter.record(perf_counter() - t0)
+        return det
 
     def observe(self, good_state: int) -> int:
         """Detection mask of the current (already settled) state."""
@@ -298,7 +359,8 @@ class ArenaKernel:
         gen = self._walk_fn(low, high)
         next(gen)
         gen.send((-2, 0))
-        return ArenaWalk(gen)
+        meter = _WalkMeter(engine) if _obs.enabled() else None
+        return ArenaWalk(gen, meter)
 
 
 def arena_for(
@@ -442,8 +504,30 @@ class SlabKernel:
         return L, H
 
     def settle(self, L, H) -> None:
-        """Algorithm A then B, vectorized, in place."""
+        """Algorithm A then B, vectorized, in place.  One settle sweeps
+        the whole slab, so (unlike the walk kernel) per-call metric
+        publication is already coarse enough."""
+        if not _obs.enabled():
+            self._settle(L, H)
+            return
+        t0 = perf_counter()
         self._settle(L, H)
+        dt = perf_counter() - t0
+        reg = _obs.get_registry()
+        reg.counter(
+            "repro_sim_slab_settles_total", "Slab kernel settle calls."
+        ).inc()
+        reg.counter(
+            "repro_sim_slab_seconds_total",
+            "Wall-clock seconds inside slab settles.",
+        ).inc(dt)
+        if dt > 0.0:
+            units = self.n_words * max(1, len(self.circuit.gates))
+            reg.gauge(
+                "repro_sim_slab_words_gates_per_sec",
+                "Slab settle throughput: lane words x gates per second "
+                "(last settle).",
+            ).set(units / dt)
 
     def reset_and_settle(self, reset_state: Optional[int] = None):
         """Force the reset state on every machine and settle; machines

@@ -317,13 +317,13 @@ def test_fault_json_round_trip_new_kinds():
 
 
 @pytest.mark.parametrize("model", ["bridging", "transition"])
-def test_result_round_trip_new_kinds_at_v4(model):
+def test_result_round_trip_new_kinds(model):
     """A full AtpgResult over a new universe survives the JSON contract
     at the bumped schema version — the campaign cache's storage format."""
     circuit = load_benchmark("dff", "complex")
     result = Flow.default().run(circuit, AtpgOptions(fault_model=model, seed=2))
     data = result.to_json_dict()
-    assert data["schema_version"] == RESULT_SCHEMA_VERSION == 4
+    assert data["schema_version"] == RESULT_SCHEMA_VERSION == 5
     assert all(f[0] == model for f in data["faults"])
     back = AtpgResult.from_json_dict(data, circuit)
     clean = dict(data)

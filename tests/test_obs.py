@@ -1,0 +1,576 @@
+"""The observability subsystem: metrics, tracing, exposition, dashboard.
+
+Every test here restores the process-global switches (ambient registry,
+enabled flag, ambient tracer) on exit — telemetry must never leak into
+the determinism-sensitive tests of the rest of the suite.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.benchmarks_data import load_benchmark
+from repro.core.atpg import AtpgOptions, AtpgResult
+from repro.errors import ReproError
+from repro.flow import Flow
+from repro.flow.events import EventBus, StageFinished, StageStarted
+from repro.obs import metrics as obs_metrics
+from repro.obs.dashboard import CampaignDashboard
+from repro.obs.export import (
+    parse_prometheus_text,
+    to_json_text,
+    to_prometheus_text,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsConsumer, MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    Tracer,
+    format_profile,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+FAST = dict(random_walks=1, walk_len=1)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Isolate the process-global telemetry state per test."""
+    previous_registry = obs_metrics.set_registry(MetricsRegistry())
+    obs_metrics.disable()
+    previous_tracer = set_tracer(None)
+    try:
+        yield
+    finally:
+        obs_metrics.set_registry(previous_registry)
+        obs_metrics.disable()
+        set_tracer(previous_tracer)
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_counter_gauge_histogram_basics():
+    reg = MetricsRegistry()
+    jobs = reg.counter("jobs_total", "Jobs.", ("status",))
+    jobs.labels("ran").inc()
+    jobs.labels("ran").inc(2)
+    jobs.labels("cached").inc()
+    assert reg.value("jobs_total", "ran") == 3.0
+    assert reg.value("jobs_total", "cached") == 1.0
+    assert reg.value("jobs_total", "failed") == 0.0  # unseen series
+
+    depth = reg.gauge("depth")
+    depth.set(7)
+    depth.inc(-2)
+    assert depth.value == 5.0
+
+    lat = reg.histogram("latency_seconds", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 5.0):
+        lat.observe(v)
+    child = lat.labels()
+    assert child.count == 3
+    assert child.sum == pytest.approx(5.55)
+    assert child.cumulative_counts() == [1, 2, 3]
+
+
+def test_registry_get_or_create_and_shape_conflicts():
+    reg = MetricsRegistry()
+    a = reg.counter("x_total", "X.", ("k",))
+    assert reg.counter("x_total", "X.", ("k",)) is a
+    with pytest.raises(ReproError, match="already registered"):
+        reg.gauge("x_total")
+    with pytest.raises(ReproError, match="already registered"):
+        reg.counter("x_total", label_names=("other",))
+    with pytest.raises(ReproError, match="bind them"):
+        a.inc()  # labeled family used without binding labels
+    with pytest.raises(ReproError, match="label value"):
+        a.labels("k", "extra")
+
+
+def test_snapshot_merge_is_the_fleet_transport():
+    worker1, worker2, parent = (
+        MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+    )
+    for i, reg in enumerate((worker1, worker2), start=1):
+        reg.counter("faults_total", "F.", ("status",)).labels("detected").inc(i)
+        reg.gauge("live_nodes").set(100 * i)
+        reg.histogram("seconds", buckets=(1.0,)).observe(0.5 * i)
+    for reg in (worker1, worker2):
+        parent.merge_snapshot(json.loads(json.dumps(reg.snapshot())))
+    # counters add, gauges last-write-win, histograms add
+    assert parent.value("faults_total", "detected") == 3.0
+    assert parent.get("live_nodes").value == 200.0
+    hist = parent.get("seconds").labels()
+    assert hist.count == 2 and hist.sum == pytest.approx(1.5)
+
+
+# -- exposition -------------------------------------------------------------
+
+
+def test_prometheus_text_round_trips_through_parser():
+    reg = MetricsRegistry()
+    reg.counter("c_total", "A counter.", ("k",)).labels('we"ird\n').inc(2)
+    reg.gauge("g").set(1.5)
+    reg.histogram("h_seconds", "H.", buckets=(0.1, 1.0)).observe(0.25)
+    text = to_prometheus_text(reg)
+    series = parse_prometheus_text(text)
+    assert series["c_total"][(("k", 'we"ird\n'),)] == 2.0
+    assert series["g"][()] == 1.5
+    assert series["h_seconds_bucket"][(("le", "1"),)] == 1.0
+    assert series["h_seconds_bucket"][(("le", "+Inf"),)] == 1.0
+    assert series["h_seconds_count"][()] == 1.0
+    # snapshots render identically to the live registry
+    assert to_prometheus_text(reg.snapshot()) == text
+
+
+def test_parse_prometheus_rejects_malformed_lines():
+    with pytest.raises(ValueError, match="malformed comment"):
+        parse_prometheus_text("# BOGUS x\n")
+    with pytest.raises(ValueError):
+        parse_prometheus_text("name{k=unquoted} 1\n")
+
+
+def test_write_metrics_picks_format_from_extension(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("c_total").inc()
+    prom = tmp_path / "m.prom"
+    jsn = tmp_path / "m.json"
+    assert write_metrics(str(prom), reg) == "prom"
+    assert write_metrics(str(jsn), reg) == "json"
+    assert "c_total 1" in prom.read_text()
+    assert json.loads(jsn.read_text()) == reg.snapshot()
+    assert to_json_text(reg).endswith("\n")
+    # atomic writes leave no temp droppings behind
+    assert [p.name for p in tmp_path.iterdir() if p.name.endswith(".tmp")] == []
+
+
+# -- tracer -----------------------------------------------------------------
+
+
+def test_tracer_spans_nest_and_profile_accounts_self_time(tmp_path):
+    tracer = Tracer()
+    with tracer.span("outer", circuit="dff"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("inner") as span:
+            span.set("iteration", 2)
+    inner, outer = tracer.spans[0], tracer.spans[-1]
+    assert outer["name"] == "outer" and outer["parent_id"] == -1
+    assert inner["parent_id"] == outer["span_id"]
+    assert tracer.spans[1]["attrs"] == {"iteration": 2}
+
+    rows = {r["name"]: r for r in tracer.profile()}
+    assert rows["inner"]["calls"] == 2
+    # outer's self time excludes the nested inner time
+    assert rows["outer"]["self_seconds"] <= rows["outer"]["total_seconds"]
+
+    path = tmp_path / "spans.jsonl"
+    assert tracer.write_jsonl(str(path)) == 3
+    lines = path.read_text().splitlines()
+    assert [json.loads(l)["name"] for l in lines] == ["inner", "inner", "outer"]
+
+    table = format_profile(tracer.profile())
+    assert "span" in table and "inner" in table and "self%" in table
+
+
+def test_ambient_tracer_scoping():
+    assert get_tracer() is NULL_TRACER
+    with use_tracer() as tracer:
+        assert get_tracer() is tracer
+        with get_tracer().span("x"):
+            pass
+    assert get_tracer() is NULL_TRACER
+    assert tracer.spans[0]["name"] == "x"
+    # the null tracer records nothing and costs nothing
+    with NULL_TRACER.span("ignored") as span:
+        span.set("k", 1)
+
+
+def test_error_inside_span_is_recorded_and_propagates():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("doomed"):
+            raise RuntimeError("boom")
+    assert tracer.spans[0]["error"] == "RuntimeError"
+
+
+# -- event-bus isolation ----------------------------------------------------
+
+
+def test_raising_listener_is_unsubscribed_with_one_warning():
+    bus = EventBus()
+    seen = []
+
+    def bad(event):
+        raise ValueError("broken consumer")
+
+    bus.subscribe(bad)
+    bus.subscribe(seen.append)
+    first = StageStarted(stage="s", n_remaining=3)
+    with pytest.warns(RuntimeWarning, match="broken consumer"):
+        bus.emit(first)
+    # the healthy listener saw the event despite its broken neighbour...
+    assert seen == [first]
+    second = StageFinished(stage="s", seconds=0.1)
+    bus.emit(second)  # ...and the broken one is gone: no further warning
+    assert seen == [first, second]
+    assert bus.n_listener_errors == 1
+    assert bus.n_emitted == 2
+
+
+def test_flow_completes_with_raising_listener():
+    circuit = load_benchmark("dff", "complex")
+    boom = lambda event: (_ for _ in ()).throw(RuntimeError("io error"))
+    with pytest.warns(RuntimeWarning, match="io error"):
+        result = Flow.default().run(
+            circuit, AtpgOptions(seed=1, **FAST), listeners=[boom]
+        )
+    assert result.n_total > 0  # the run finished normally
+
+
+# -- flow integration -------------------------------------------------------
+
+
+def run_dff(listeners=(), **opts):
+    circuit = load_benchmark("dff", "complex")
+    return Flow.default().run(
+        circuit, AtpgOptions(seed=1, **FAST, **opts), listeners=listeners
+    )
+
+
+def test_default_run_has_no_telemetry_block():
+    result = run_dff()
+    assert result.telemetry is None
+    assert "telemetry" not in result.to_json_dict()
+
+
+def test_metrics_enabled_run_attaches_telemetry_and_counts_faults():
+    reg = obs_metrics.enable(MetricsRegistry())
+    result = run_dff()
+    tel = result.telemetry
+    assert tel is not None
+    assert set(tel) == {"stage_seconds", "bdd", "metrics"}
+    assert "random-tpg" in tel["stage_seconds"]
+    # the MetricsConsumer-derived verdict counts match the result's
+    family = reg.get("repro_flow_faults_classified_total")
+    total = sum(ch.value for _, ch in family.children())
+    assert total == result.n_total
+    assert reg.value("repro_flow_events_total", "StageFinished") > 0
+    # telemetry survives the JSON round trip, stripped stays stripped
+    data = result.to_json_dict()
+    back = AtpgResult.from_json_dict(data, result.circuit)
+    assert back.telemetry == tel
+    data.pop("telemetry")
+    assert AtpgResult.from_json_dict(data, result.circuit).telemetry is None
+
+
+def test_traced_run_produces_stage_spans():
+    with use_tracer() as tracer:
+        result = run_dff()
+    assert result.telemetry is not None  # tracing alone arms the block
+    names = {rec["name"] for rec in tracer.spans}
+    assert {"flow.run", "stage.cssg", "stage.random-tpg",
+            "cssg.traverse"} <= names
+    flow_span = next(r for r in tracer.spans if r["name"] == "flow.run")
+    assert flow_span["attrs"]["circuit"] == "dff-complex"
+
+
+def test_symbolic_run_traces_image_iterations_and_bdd_cache():
+    registry = MetricsRegistry()
+    obs_metrics.enable(registry)
+    with use_tracer() as tracer:
+        result = run_dff(cssg_method="symbolic")
+    names = [rec["name"] for rec in tracer.spans]
+    assert "cssg.reach" in names and "cssg.image" in names
+    bdd = result.telemetry["bdd"]
+    assert bdd["cache_lookups"] >= bdd["cache_hits"] >= 0
+    assert bdd["cache_lookups"] > 0
+    assert bdd["peak_nodes"] > 0
+    # dff is far too small to trigger GC/sift, but the build's final
+    # flush must still land the kernel series in the registry.
+    assert registry.value("repro_bdd_cache_lookups_total") == (
+        bdd["cache_lookups"]
+    )
+    assert registry.value("repro_bdd_peak_nodes") == bdd["peak_nodes"]
+
+
+def test_event_stream_identical_with_and_without_metrics():
+    """Determinism: subscribing telemetry never changes the stream."""
+
+    def stream():
+        events = []
+        run_dff(listeners=[lambda e: events.append(e.to_json_dict())])
+        for doc in events:
+            doc.pop("seconds", None)  # the one wall-clock field
+        return events
+
+    plain = stream()
+    obs_metrics.enable(MetricsRegistry())
+    with use_tracer():
+        observed = stream()
+    assert plain == observed
+
+
+# -- consumers --------------------------------------------------------------
+
+
+class _Pipe:
+    """A not-a-TTY text sink."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, text):
+        self.chunks.append(text)
+
+    def flush(self):
+        pass
+
+    def isatty(self):
+        return False
+
+    @property
+    def text(self):
+        return "".join(self.chunks)
+
+
+def test_progress_line_non_tty_emits_plain_lines():
+    from repro.flow.consumers import ProgressLine
+
+    pipe = _Pipe()
+    with ProgressLine(stream=pipe, plain_interval=3600.0) as line:
+        line(StageStarted(stage="random-tpg", n_remaining=8))
+        from repro.flow.events import ProgressTick
+
+        # throttled: ticks inside the interval produce no output
+        line(ProgressTick(stage="random-tpg", done=1, total=8, covered=0))
+        line(StageFinished(stage="random-tpg", seconds=0.2))
+    out = pipe.text
+    assert "\r" not in out  # never the TTY carriage-return dance
+    lines = out.splitlines()
+    assert len(lines) == 3  # start boundary, finish boundary, close
+    assert all(l.startswith("[random-tpg]") for l in lines)
+
+
+def test_trace_writer_atomic_publish_and_crash_safety(tmp_path):
+    from repro.flow.consumers import TraceWriter
+
+    target = tmp_path / "trace.jsonl"
+    writer = TraceWriter(str(target))
+    writer(StageStarted(stage="s", n_remaining=1))
+    writer(StageFinished(stage="s", seconds=0.1))
+    assert not target.exists()  # nothing published before close
+    writer.close()
+    writer.close()  # idempotent
+    records = [json.loads(l) for l in target.read_text().splitlines()]
+    assert [r["event"] for r in records] == ["StageStarted", "StageFinished"]
+    assert [r["seq"] for r in records] == [0, 1]
+
+    # a writer that never reaches close leaves no file at the target
+    orphan = tmp_path / "never.jsonl"
+    writer2 = TraceWriter(str(orphan))
+    writer2(StageStarted(stage="s", n_remaining=1))
+    del writer2
+    assert not orphan.exists()
+
+
+def test_trace_writer_truncates_half_record_at_close(tmp_path):
+    from repro.flow.consumers import TraceWriter
+
+    target = tmp_path / "trace.jsonl"
+    writer = TraceWriter(str(target))
+    writer(StageStarted(stage="s", n_remaining=1))
+    # simulate a mid-record failure: bytes past the watermark
+    writer._handle.write(b'{"seq":1,"truncat')
+    writer.close()
+    lines = target.read_text().splitlines()
+    assert len(lines) == 1
+    json.loads(lines[0])  # the published file ends on a record boundary
+
+
+# -- dashboard --------------------------------------------------------------
+
+
+def test_dashboard_reads_ambient_registry_and_renders():
+    reg = obs_metrics.enable(MetricsRegistry())
+    reg.counter(
+        "repro_flow_faults_classified_total", "F.", ("status", "reason")
+    ).labels("detected", "").inc(9)
+    reg.counter(
+        "repro_campaign_cache_requests_total", "C.", ("outcome",)
+    ).labels("hit").inc(3)
+    reg.get("repro_campaign_cache_requests_total").labels("miss").inc(1)
+
+    pipe = _Pipe()
+    dash = CampaignDashboard(total_jobs=4, stream=pipe, min_interval=0.0)
+    assert dash.registry is reg  # defaults to the ambient aggregate
+
+    class Job:
+        key = "k1"
+
+    class Outcome:
+        job = Job()
+        status = "ran"
+
+    dash.on_beat(0, "k1", None)
+    dash.on_outcome(Outcome(), 1, 4)
+    dash.close()
+    out = pipe.text
+    assert "1/4 jobs" in out
+    assert "detected=9 (100.0%)" in out
+    assert "cache: 3/4 hits (75.0%)" in out
+    # non-TTY frames are single flattened lines
+    assert all(" | " in l for l in out.splitlines() if l)
+
+
+# -- campaign integration ---------------------------------------------------
+
+
+def test_campaign_collect_telemetry_aggregates_and_keeps_cache_clean(tmp_path):
+    from repro.campaign import CampaignSpec, ResultStore, expand, run_campaign
+
+    spec = CampaignSpec(
+        benchmarks=["dff"],
+        fault_models=("output", "input"),
+        options=AtpgOptions(**FAST),
+    )
+    jobs = expand(spec)
+    store = ResultStore(tmp_path / "cache")
+
+    class Recorder:
+        def __init__(self):
+            self.outcomes = []
+
+        def on_beat(self, wid, key, snapshot):
+            pass
+
+        def on_outcome(self, outcome, done, total):
+            self.outcomes.append((outcome.status, done, total))
+
+        def close(self):
+            pass
+
+    dash = Recorder()
+    report = run_campaign(
+        jobs, workers=0, store=store, collect_telemetry=True, dashboard=dash
+    )
+    assert report.n_ran == len(jobs)
+    assert [d for _, d, _ in dash.outcomes] == [1, 2]
+
+    reg = obs_metrics.get_registry()
+    assert reg.value("repro_campaign_jobs_total", "ran") == len(jobs)
+    assert reg.value("repro_campaign_cache_requests_total", "miss") == len(jobs)
+    family = reg.get("repro_flow_faults_classified_total")
+    classified = sum(ch.value for _, ch in family.children())
+    assert classified == sum(o.payload["n_total"] for o in report.outcomes)
+
+    warm = run_campaign(jobs, workers=0, store=store, collect_telemetry=True)
+    assert warm.n_cached == len(jobs)
+    assert reg.value("repro_campaign_cache_requests_total", "hit") == len(jobs)
+
+    # the cache never stores telemetry: warm payloads are canonical
+    obs_metrics.disable()
+    for job in jobs:
+        cached = store.get(job.key)
+        assert cached is not None and "telemetry" not in cached
+
+
+def test_campaign_pool_merges_worker_snapshots(tmp_path):
+    from repro.campaign import CampaignSpec, ResultStore, expand, run_campaign
+
+    spec = CampaignSpec(benchmarks=["dff"], options=AtpgOptions(**FAST))
+    jobs = expand(spec)
+    store = ResultStore(tmp_path / "cache")
+    report = run_campaign(jobs, workers=1, store=store, collect_telemetry=True)
+    assert report.n_ran == len(jobs)
+    reg = obs_metrics.get_registry()
+    # worker-side flow metrics crossed the process boundary exactly once
+    family = reg.get("repro_flow_faults_classified_total")
+    classified = sum(ch.value for _, ch in family.children())
+    assert classified == sum(o.payload["n_total"] for o in report.outcomes)
+    assert reg.get("repro_campaign_job_seconds").labels().count == len(jobs)
+    assert reg.get("repro_campaign_queue_wait_seconds").labels().count == len(jobs)
+    for job in jobs:
+        assert "telemetry" not in store.get(job.key)
+
+
+# -- report columns ---------------------------------------------------------
+
+
+def test_telemetry_report_columns():
+    from repro.core.report import result_row
+
+    obs_metrics.enable(MetricsRegistry())
+    result = run_dff(cssg_method="symbolic")
+    row = result_row("dff", None, result)
+    assert "random-tpg:" in row.stage_seconds
+    assert row.bdd_cache_lookups >= row.bdd_cache_hits >= 0
+    assert row.bdd_cache_lookups > 0
+
+    obs_metrics.disable()
+    plain = result_row("dff", None, run_dff())
+    assert plain.stage_seconds == ""
+    assert plain.bdd_cache_hits == plain.bdd_cache_lookups == 0
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def test_cli_metrics_spans_and_self_profile(tmp_path, capsys):
+    from repro.cli import main
+
+    metrics = tmp_path / "m.prom"
+    spans = tmp_path / "spans.jsonl"
+    assert main([
+        "dff", "--metrics", str(metrics), "--spans", str(spans),
+        "--self-profile",
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "self(s)" in err and "flow.run" in err  # the self-profile table
+    series = parse_prometheus_text(metrics.read_text())
+    assert any(n.startswith("repro_flow_") for n in series)
+    records = [json.loads(l) for l in spans.read_text().splitlines()]
+    assert any(r["name"] == "flow.run" for r in records)
+    # the CLI restored the process-global switches on the way out
+    assert not obs_metrics.enabled()
+    assert get_tracer() is NULL_TRACER
+
+
+def test_cli_profile_writes_pstats(tmp_path, capsys):
+    import pstats
+
+    from repro.cli import main
+
+    out = tmp_path / "run.pstats"
+    assert main(["dff", "--profile", str(out)]) == 0
+    assert "cumulative" in capsys.readouterr().err
+    stats = pstats.Stats(str(out))
+    assert stats.total_calls > 0
+
+
+def test_campaign_cli_dashboard_and_metrics(tmp_path, capsys, monkeypatch):
+    from repro.cli import campaign_main
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    metrics = tmp_path / "metrics.json"
+    args = [
+        "dff", "--models", "input", "--workers", "0",
+        "--random-walks", "1", "--walk-len", "1",
+        "--out", str(tmp_path / "art"), "--dashboard",
+        "--metrics", str(metrics),
+    ]
+    assert campaign_main(args) == 0
+    err = capsys.readouterr().err
+    assert "campaign [" in err and "jobs" in err  # dashboard frames
+    snap = json.loads(metrics.read_text())
+    names = {rec["name"] for rec in snap["counters"]}
+    assert "repro_campaign_jobs_total" in names
+
+    # warm rerun: everything cached, the dashboard says so
+    assert campaign_main(args) == 0
+    err = capsys.readouterr().err
+    assert "cache: 1/1 hits (100.0%)" in err

@@ -49,7 +49,7 @@ def test_fault_status_reason_round_trip():
         status = FaultStatus(Fault("input", 3, 1, 0), "aborted", reason=reason)
         back = FaultStatus.from_json_dict(status.to_json_dict())
         assert back == status and back.reason == reason
-    assert RESULT_SCHEMA_VERSION == 4
+    assert RESULT_SCHEMA_VERSION == 5
 
 
 def test_cssg_block_round_trips_symbolic_facts():
