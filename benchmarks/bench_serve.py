@@ -1,0 +1,176 @@
+"""Service throughput: concurrent clients over mixed cold/warm work.
+
+The serving promise is that the daemon in front of the ATPG engine
+adds *service* value (queueing, streaming, caching) without becoming
+the bottleneck: warm submissions — the common case once a corpus is
+cached — must be answered at interactive HTTP latency, and a burst of
+concurrent clients must sustain a floor request rate.
+
+The bench runs a real in-process :class:`~repro.serve.server.ReproServer`
+(inline back end, so timings measure the service path, not fork
+startup) and drives it with ``N_CLIENTS`` threads of the stdlib
+:class:`~repro.serve.client.ServeClient` over a mixed workload: every
+client hammers the same small benchmark corpus, so the first touches
+are cold (executed, cached) and everything after is warm (answered
+from the store at submit time).  Asserted floors, deliberately
+conservative for CI runners:
+
+* **sustained throughput** ≥ ``MIN_RPS`` requests/second across the
+  whole mixed burst (cold execution included);
+* **warm-path latency**: median warm submit→answer round trip ≤
+  ``MAX_WARM_MS`` milliseconds.
+
+Results land in ``benchmarks/out/BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import statistics
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.store import ResultStore
+from repro.serve import QosPolicy, ReproServer, ServeClient
+
+OUT_PATH = Path(__file__).resolve().parent / "out" / "BENCH_serve.json"
+
+N_CLIENTS = 8
+ROUNDS_PER_CLIENT = 6
+CORPUS = ["dff", "chu150", "hazard", "ebergen"]
+
+#: Conservative CI floors (local machines do far better).
+MIN_RPS = 25.0
+MAX_WARM_MS = 250.0
+
+_results = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def emit_json():
+    yield
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    OUT_PATH.write_text(json.dumps(_results, indent=2) + "\n")
+    print(f"\nwrote {OUT_PATH}")
+
+
+class _LoopThread:
+    """The server's asyncio loop on a background thread."""
+
+    def __init__(self, tmp_path):
+        self.loop = None
+        self.server = None
+        self.client = None
+        self._ready = threading.Event()
+        self._stop = threading.Event()
+        self._tmp = tmp_path
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+
+        async def main():
+            self.server = ReproServer(
+                state_dir=self._tmp / "state",
+                store=ResultStore(self._tmp / "cache"),
+                workers=0,
+                qos=QosPolicy(max_queue=256, per_client=256),
+            )
+            host, port = await self.server.start()
+            self.client = ServeClient(f"http://{host}:{port}")
+            self._ready.set()
+            while not self._stop.is_set():
+                await asyncio.sleep(0.02)
+            await self.server.shutdown(drain=True, drain_timeout=10)
+
+        self.loop.run_until_complete(main())
+        self.loop.close()
+
+    def __enter__(self):
+        self.thread.start()
+        assert self._ready.wait(15)
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self.thread.join(timeout=30)
+        return False
+
+
+def test_concurrent_mixed_workload_throughput(tmp_path):
+    with _LoopThread(tmp_path) as ctx:
+        base = ctx.client.base_url
+        warm_ms = []
+        n_requests = [0] * N_CLIENTS
+        errors = []
+
+        def client_loop(cid):
+            client = ServeClient(base)
+            try:
+                for round_no in range(ROUNDS_PER_CLIENT):
+                    for name in CORPUS:
+                        t0 = time.perf_counter()
+                        record = client.submit(
+                            benchmark=name, seed=5, client=f"c{cid}"
+                        )
+                        elapsed = time.perf_counter() - t0
+                        n_requests[cid] += 1
+                        if record["state"] == "cached":
+                            warm_ms.append(elapsed * 1000.0)
+                        elif record["state"] in ("queued", "running"):
+                            client.wait(record["id"], timeout=120)
+                            n_requests[cid] += 1  # the status polls count once
+            except Exception as exc:  # surfaced as a test failure below
+                errors.append((cid, repr(exc)))
+
+        threads = [
+            threading.Thread(target=client_loop, args=(cid,))
+            for cid in range(N_CLIENTS)
+        ]
+        t_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        wall = time.perf_counter() - t_start
+        assert not errors, errors
+
+        total_requests = sum(n_requests)
+        rps = total_requests / wall
+        warm_p50 = statistics.median(warm_ms) if warm_ms else None
+        health = ctx.client.healthz()
+
+    _results["mixed_workload"] = {
+        "n_clients": N_CLIENTS,
+        "rounds_per_client": ROUNDS_PER_CLIENT,
+        "corpus": CORPUS,
+        "total_requests": total_requests,
+        "wall_seconds": round(wall, 3),
+        "requests_per_second": round(rps, 1),
+        "n_warm_answers": len(warm_ms),
+        "warm_p50_ms": round(warm_p50, 3) if warm_p50 is not None else None,
+        "warm_p95_ms": round(
+            statistics.quantiles(warm_ms, n=20)[-1], 3
+        ) if len(warm_ms) >= 20 else None,
+        "executed_total": health["executed_total"],
+        "floors": {"min_rps": MIN_RPS, "max_warm_ms": MAX_WARM_MS},
+    }
+    print(
+        f"\n{total_requests} requests in {wall:.2f}s = {rps:.0f} req/s; "
+        f"{len(warm_ms)} warm answers, p50 {warm_p50:.1f} ms; "
+        f"{health['executed_total']} jobs actually executed"
+    )
+
+    # The whole corpus executed exactly once — every other submission
+    # was a cache answer or coalesced onto an in-flight run.
+    assert health["executed_total"] <= len(CORPUS) * 2
+    assert len(warm_ms) > N_CLIENTS  # the warm path dominated
+    assert rps >= MIN_RPS, f"throughput floor: {rps:.1f} < {MIN_RPS} req/s"
+    assert warm_p50 is not None and warm_p50 <= MAX_WARM_MS, (
+        f"warm-path latency floor: p50 {warm_p50:.1f} ms > {MAX_WARM_MS} ms"
+    )

@@ -31,6 +31,8 @@ setup(
         "console_scripts": [
             "repro-atpg = repro.cli:main",
             "repro-campaign = repro.cli:campaign_main",
+            "repro-serve = repro.serve.server:serve_main",
+            "repro-cache = repro.cli:cache_main",
         ],
     },
 )

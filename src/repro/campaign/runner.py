@@ -219,7 +219,13 @@ def _maybe_crash_for_test(job: Job) -> None:
         os._exit(3)  # simulate a native crash: no exception, no cleanup
 
 
-def _worker_main(wid: int, task_q, event_q, collect_telemetry: bool = False) -> None:
+def _worker_main(
+    wid: int,
+    task_q,
+    event_q,
+    collect_telemetry: bool = False,
+    relay_events: bool = False,
+) -> None:
     """Worker loop: run dispatched job batches until the ``None``
     sentinel.  A batch is one source circuit's group (or the remainder
     of one), processed strictly in order — the parent relies on that
@@ -232,7 +238,15 @@ def _worker_main(wid: int, task_q, event_q, collect_telemetry: bool = False) -> 
     (the parent's dashboard reads live, in-flight numbers from it), and
     lets the flow attach the final snapshot to the result's
     ``telemetry`` block — which is how per-job metrics reach the
-    parent's campaign-wide registry exactly once."""
+    parent's campaign-wide registry exactly once.
+
+    With ``relay_events`` the worker forwards **every flow event** as a
+    ``("event", wid, key, 0.0, event_json)`` message instead of the
+    throttled heartbeat — the serving front end streams these live to
+    subscribed clients, and any event doubles as a sign of life for the
+    parent's hang policing.  (Campaigns keep the cheap heartbeat: a
+    23-benchmark batch has no event subscribers, so shipping the full
+    stream across the process boundary would be pure overhead.)"""
     while True:
         item = task_q.get()
         if item is None:
@@ -258,9 +272,15 @@ def _worker_main(wid: int, task_q, event_q, collect_telemetry: bool = False) -> 
                     event_q.put(("beat", wid, key, 0.0))
 
             send()
-            beat = Heartbeat(send, min_interval=HEARTBEAT_INTERVAL)
+            if relay_events:
+
+                def listener(event, key=job.key):
+                    event_q.put(("event", wid, key, 0.0, event.to_json_dict()))
+
+            else:
+                listener = Heartbeat(send, min_interval=HEARTBEAT_INTERVAL)
             try:
-                result = execute_job(job, cssg_memo, listeners=(beat,))
+                result = execute_job(job, cssg_memo, listeners=(listener,))
                 event_q.put(
                     ("done", wid, job.key, time.perf_counter() - t0,
                      result.to_json_dict())
@@ -310,11 +330,13 @@ class _Pool:
         timeout: float,
         hang_timeout: Optional[float] = None,
         collect_telemetry: bool = False,
+        relay_events: bool = False,
     ):
         self.ctx = _mp_context()
         self.event_q = self.ctx.Queue()
         self.timeout = timeout
         self.collect_telemetry = collect_telemetry
+        self.relay_events = relay_events
         #: dispatch instant per job key, for queue-wait accounting.
         self.dispatched_at: Dict[str, float] = {}
         self.n_respawns = 0
@@ -345,13 +367,25 @@ class _Pool:
             key=lambda js: (-sum(j.cost_hint for j in js), js[0].key),
         )
 
+    def add_jobs(self, jobs: Sequence[Job]) -> None:
+        """Append more work after construction — the long-lived serving
+        front end feeds submissions in as they arrive.  Each job becomes
+        its own single-job batch (service jobs arrive one by one; there
+        is no whole-campaign group to co-schedule)."""
+        for job in jobs:
+            self.job_of[job.key] = job
+            self.group_queue.append([job])
+
     def spawn(self) -> None:
         wid = self.next_wid
         self.next_wid += 1
         task_q = self.ctx.Queue()
         proc = self.ctx.Process(
             target=_worker_main,
-            args=(wid, task_q, self.event_q, self.collect_telemetry),
+            args=(
+                wid, task_q, self.event_q,
+                self.collect_telemetry, self.relay_events,
+            ),
             daemon=True,
         )
         proc.start()

@@ -8,10 +8,19 @@ JSON, filed under its content hash::
 The key already encodes the netlist bytes, options, code version, and
 result schema version (see :mod:`repro.campaign.plan`), so invalidation
 is automatic: any change produces a different key, and stale entries are
-simply never addressed again.  Writes are atomic (temp file +
-``os.replace``) so concurrent campaigns sharing a cache directory can
-only ever observe complete entries; corrupt or foreign files read as
-cache misses.
+simply never addressed again.  Writes are atomic (temp file + ``fsync``
++ ``os.replace``) so concurrent campaigns — or the ``repro-serve``
+daemon's parallel workers — sharing a cache directory can only ever
+observe complete entries; when several writers race on the same key the
+last replace wins and every reader sees one complete payload or a miss,
+never a torn file.  Corrupt or foreign files read as cache misses.
+
+The store is also a maintainable artifact: :meth:`ResultStore.entries`
+/ :meth:`~ResultStore.prune` / :meth:`~ResultStore.stats` back the
+``repro-cache`` CLI (list, age/size-bounded pruning, hit statistics),
+and ``track_stats=True`` appends one ``hit|miss <key>`` line per lookup
+to ``<root>/stats.log`` (O_APPEND, crash-safe) so long-lived services
+can report hit rates across restarts.
 """
 
 from __future__ import annotations
@@ -19,8 +28,9 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.obs import metrics as _obs
 
@@ -39,12 +49,34 @@ def default_cache_dir() -> Path:
 class ResultStore:
     """A content-addressed JSON store under one cache directory."""
 
-    def __init__(self, root: Union[str, Path, None] = None):
+    def __init__(
+        self, root: Union[str, Path, None] = None, track_stats: bool = False
+    ):
         self.root = Path(root) if root is not None else default_cache_dir()
         self._results = self.root / "results"
+        self._stats_log = self.root / "stats.log" if track_stats else None
 
     def path_for(self, key: str) -> Path:
         return self._results / key[:2] / f"{key}.json"
+
+    def _log_lookup(self, outcome: str, key: str) -> None:
+        if self._stats_log is None:
+            return
+        try:
+            self._stats_log.parent.mkdir(parents=True, exist_ok=True)
+            # O_APPEND: one small write per lookup is atomic on POSIX,
+            # so concurrent processes interleave whole lines.
+            fd = os.open(
+                str(self._stats_log),
+                os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                0o644,
+            )
+            try:
+                os.write(fd, f"{outcome} {key}\n".encode("ascii"))
+            finally:
+                os.close(fd)
+        except OSError:
+            pass  # statistics must never fail a lookup
 
     def get(self, key: str) -> Optional[Dict]:
         """The stored payload, or ``None`` (missing or unreadable)."""
@@ -56,6 +88,7 @@ class ResultStore:
             payload = None
         if not isinstance(payload, dict):
             payload = None
+        outcome = "miss" if payload is None else "hit"
         if _obs.enabled():
             # Keys embed the result schema version, so a raw store hit
             # is a semantic cache hit: nothing stale ever gets a hit.
@@ -63,11 +96,20 @@ class ResultStore:
                 "repro_campaign_cache_requests_total",
                 "Result-store lookups, by outcome.",
                 ("outcome",),
-            ).labels("miss" if payload is None else "hit").inc()
+            ).labels(outcome).inc()
+        self._log_lookup(outcome, key)
         return payload
 
     def put(self, key: str, payload: Dict) -> Path:
-        """Atomically persist ``payload`` under ``key``."""
+        """Atomically persist ``payload`` under ``key``.
+
+        The temp file is flushed and fsynced before the ``os.replace``,
+        so a rename is only ever published for fully-durable bytes —
+        a crash mid-write leaves either the old entry or a stray
+        ``.tmp`` (reaped by :meth:`prune`), never a truncated entry.
+        Concurrent same-key writers are safe: each writes its own temp
+        file and the last replace wins whole.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -76,6 +118,8 @@ class ResultStore:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, separators=(",", ":"))
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -100,6 +144,96 @@ class ResultStore:
             return
         for path in sorted(self._results.glob("*/*.json")):
             yield path.stem
+
+    def entries(self) -> List[Tuple[str, Path, int, float]]:
+        """Every entry as ``(key, path, size_bytes, mtime)``, oldest
+        first — the order :meth:`prune` evicts in."""
+        out: List[Tuple[str, Path, int, float]] = []
+        if not self._results.exists():
+            return out
+        for path in self._results.glob("*/*.json"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue  # deleted by a concurrent pruner
+            out.append((path.stem, path, st.st_size, st.st_mtime))
+        out.sort(key=lambda e: (e[3], e[0]))
+        return out
+
+    def prune(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_total_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Tuple[int, int]:
+        """Evict entries older than ``max_age_seconds``, then — oldest
+        first — until the store fits ``max_total_bytes``.  Also reaps
+        orphaned ``.tmp`` files abandoned by crashed writers.  Returns
+        ``(n_removed, bytes_freed)``.
+        """
+        now = time.time() if now is None else now
+        n_removed = 0
+        bytes_freed = 0
+        if self._results.exists():
+            for tmp in self._results.glob("*/.*.tmp"):
+                try:
+                    st = tmp.stat()
+                    if now - st.st_mtime > 3600:  # not an in-flight write
+                        tmp.unlink()
+                        n_removed += 1
+                        bytes_freed += st.st_size
+                except OSError:
+                    continue
+        entries = self.entries()
+        keep: List[Tuple[str, Path, int, float]] = []
+        for key, path, size, mtime in entries:
+            if max_age_seconds is not None and now - mtime > max_age_seconds:
+                if self.delete(key):
+                    n_removed += 1
+                    bytes_freed += size
+            else:
+                keep.append((key, path, size, mtime))
+        if max_total_bytes is not None:
+            total = sum(size for _, _, size, _ in keep)
+            for key, _path, size, _mtime in keep:  # oldest first
+                if total <= max_total_bytes:
+                    break
+                if self.delete(key):
+                    n_removed += 1
+                    bytes_freed += size
+                    total -= size
+        return n_removed, bytes_freed
+
+    def stats(self) -> Dict:
+        """Store shape + lifetime hit statistics (from ``stats.log``
+        when this store tracks them)."""
+        entries = self.entries()
+        doc: Dict = {
+            "root": str(self.root),
+            "n_entries": len(entries),
+            "total_bytes": sum(size for _, _, size, _ in entries),
+            "oldest_mtime": entries[0][3] if entries else None,
+            "newest_mtime": entries[-1][3] if entries else None,
+        }
+        hits = misses = 0
+        log = self._stats_log or (self.root / "stats.log")
+        try:
+            with open(log, "r", encoding="ascii") as handle:
+                for line in handle:
+                    if line.startswith("hit "):
+                        hits += 1
+                    elif line.startswith("miss "):
+                        misses += 1
+        except OSError:
+            pass
+        doc["lookups"] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / (hits + misses), 4)
+            if hits + misses
+            else None,
+        }
+        return doc
 
     def __len__(self) -> int:
         return sum(1 for _ in self.iter_keys())

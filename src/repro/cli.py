@@ -1,4 +1,5 @@
-"""Command line interfaces: ``repro-atpg`` and ``repro-campaign``.
+"""Command line interfaces: ``repro-atpg``, ``repro-campaign``, and
+``repro-cache``.
 
 Examples::
 
@@ -21,6 +22,14 @@ Examples::
     repro-campaign dff --cssg-method hybrid,symbolic   # method axis
     repro-campaign --models output,input,bridging,transition
     repro-atpg --campaign --table2       # alias for repro-campaign
+
+    repro-cache list                     # entries in the shared cache
+    repro-cache stats                    # size + lifetime hit rate
+    repro-cache prune --max-age-days 30 --max-size-mb 512
+    repro-cache clear
+
+(The ``repro-serve`` daemon has its own entry point — see
+:mod:`repro.serve.server` and ``docs/serving.md``.)
 
 ``python -m repro.cli`` behaves like ``repro-atpg``.
 """
@@ -549,6 +558,125 @@ def campaign_main(argv=None) -> int:
                 file=sys.stderr,
             )
     return 0 if report.all_ok else 1
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cache",
+        description=(
+            "Maintain the shared content-addressed result cache used by "
+            "repro-campaign and repro-serve."
+        ),
+    )
+    parser.add_argument(
+        "command", choices=["list", "stats", "prune", "clear"],
+        help="what to do",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="prune: evict entries older than this many days",
+    )
+    parser.add_argument(
+        "--max-size-mb", type=float, default=None,
+        help="prune: evict oldest entries until the store fits this size",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="prune/clear: report what would be removed, remove nothing",
+    )
+    parser.add_argument("--json", action="store_true", help="JSON output")
+    return parser
+
+
+def cache_main(argv=None) -> int:
+    """``repro-cache``: list / stats / prune / clear the result store."""
+    from repro.campaign.store import ResultStore
+
+    args = build_cache_parser().parse_args(argv)
+    store = ResultStore(args.cache_dir)
+
+    if args.command == "list":
+        entries = store.entries()
+        if args.json:
+            print(json.dumps(
+                [
+                    {"key": key, "bytes": size, "mtime": mtime}
+                    for key, _path, size, mtime in entries
+                ],
+                indent=2,
+            ))
+        else:
+            for key, _path, size, mtime in entries:
+                print(f"{key}  {size:>9d} B  mtime={mtime:.0f}")
+            print(f"{len(entries)} entries in {store.root}", file=sys.stderr)
+        return 0
+
+    if args.command == "stats":
+        doc = store.stats()
+        if args.json:
+            print(json.dumps(doc, indent=2))
+        else:
+            print(f"root:        {doc['root']}")
+            print(f"entries:     {doc['n_entries']}")
+            print(f"total bytes: {doc['total_bytes']}")
+            lookups = doc["lookups"]
+            rate = lookups["hit_rate"]
+            print(
+                f"lookups:     {lookups['hits']} hits / "
+                f"{lookups['misses']} misses"
+                + (f" ({rate:.1%} hit rate)" if rate is not None else "")
+            )
+        return 0
+
+    if args.command == "clear":
+        n = len(store) if args.dry_run else store.clear()
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"{verb} {n} entries from {store.root}")
+        return 0
+
+    # prune
+    if args.max_age_days is None and args.max_size_mb is None:
+        print(
+            "error: prune needs --max-age-days and/or --max-size-mb",
+            file=sys.stderr,
+        )
+        return 2
+    max_age = (
+        args.max_age_days * 86400.0 if args.max_age_days is not None else None
+    )
+    max_bytes = (
+        int(args.max_size_mb * 1024 * 1024)
+        if args.max_size_mb is not None
+        else None
+    )
+    if args.dry_run:
+        import time as _time
+
+        now = _time.time()
+        entries = store.entries()
+        doomed = [
+            (key, size)
+            for key, _path, size, mtime in entries
+            if max_age is not None and now - mtime > max_age
+        ]
+        if max_bytes is not None:
+            kept = [e for e in entries if e[0] not in {k for k, _ in doomed}]
+            total = sum(size for _, _, size, _ in kept)
+            for key, _path, size, _mtime in kept:
+                if total <= max_bytes:
+                    break
+                doomed.append((key, size))
+                total -= size
+        n, freed = len(doomed), sum(size for _, size in doomed)
+        print(f"would remove {n} entries, freeing {freed} bytes")
+        return 0
+    n, freed = store.prune(max_age_seconds=max_age, max_total_bytes=max_bytes)
+    print(f"removed {n} entries, freed {freed} bytes")
+    return 0
 
 
 if __name__ == "__main__":

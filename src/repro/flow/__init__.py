@@ -22,6 +22,7 @@ monolith:
 
 from repro.flow.budget import (
     Budget,
+    clamp_deadline,
     REASON_ACTIVATION,
     REASON_BUDGET,
     REASON_PRODUCT_STATES,
@@ -50,6 +51,7 @@ from repro.flow.stages import (
 
 __all__ = [
     "Budget",
+    "clamp_deadline",
     "REASON_ACTIVATION",
     "REASON_BUDGET",
     "REASON_PRODUCT_STATES",

@@ -19,12 +19,46 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-__all__ = ["Budget", "REASON_BUDGET", "REASON_PRODUCT_STATES", "REASON_ACTIVATION"]
+__all__ = [
+    "Budget",
+    "clamp_deadline",
+    "REASON_BUDGET",
+    "REASON_PRODUCT_STATES",
+    "REASON_ACTIVATION",
+]
 
 #: Abort reasons recorded in :attr:`repro.core.atpg.FaultStatus.reason`.
 REASON_BUDGET = "budget"  #: the run's wall-clock deadline expired
 REASON_PRODUCT_STATES = "product-states"  #: per-fault product-state cap hit
 REASON_ACTIVATION = "activation-tries"  #: activation-target cap hit
+
+
+def clamp_deadline(
+    requested: Optional[float], ceiling: Optional[float]
+) -> Optional[float]:
+    """The wall-clock deadline a request may actually have.
+
+    ``None`` means unbounded on either side: no ceiling passes the
+    request through, no request inherits the ceiling.  This is how a
+    multi-tenant front end (``repro-serve``) turns the cooperative run
+    budget into a per-request QoS limit — the clamped value goes into
+    :attr:`~repro.core.atpg.AtpgOptions.deadline_seconds` and from
+    there into the ordinary :class:`Budget`.
+
+    >>> clamp_deadline(None, None) is None
+    True
+    >>> clamp_deadline(5.0, None)
+    5.0
+    >>> clamp_deadline(None, 30.0)
+    30.0
+    >>> clamp_deadline(120.0, 30.0)
+    30.0
+    """
+    if ceiling is None:
+        return requested
+    if requested is None:
+        return ceiling
+    return min(requested, ceiling)
 
 
 @dataclass

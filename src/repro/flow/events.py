@@ -128,6 +128,16 @@ class EventBus:
     every other listener keeps receiving the full stream.  (Consumers
     doing fallible I/O still get exactly one warning naming them, so a
     broken trace file is visible without killing hours of ATPG.)
+
+    Mid-run attach/detach is supported: :meth:`subscribe` and
+    :meth:`unsubscribe` may be called while the flow is emitting — from
+    inside a listener or from another thread (a serving front end
+    detaching a disconnected client).  Each :meth:`emit` fans out to a
+    snapshot of the subscription list, so a subscription added mid-emit
+    takes effect from the *next* event and a detach never perturbs the
+    other listeners' delivery.  :meth:`unsubscribe` is idempotent — a
+    listener that already unsubscribed itself (or was dropped after
+    raising) is a no-op to remove again.
     """
 
     def __init__(self) -> None:
@@ -139,18 +149,25 @@ class EventBus:
         self._listeners.append(listener)
         return listener
 
-    def unsubscribe(self, listener: Listener) -> None:
-        self._listeners.remove(listener)
+    def unsubscribe(self, listener: Listener) -> bool:
+        """Detach ``listener``; ``False`` if it was not subscribed."""
+        try:
+            self._listeners.remove(listener)
+            return True
+        except ValueError:
+            return False
 
     def emit(self, event: FlowEvent) -> None:
         self.n_emitted += 1
         broken = None
-        for listener in self._listeners:
+        # Snapshot: listeners may (un)subscribe — themselves or others —
+        # while this event fans out, without skipping anyone else.
+        for listener in tuple(self._listeners):
+            if listener not in self._listeners:
+                continue  # detached earlier in this same emit
             try:
                 listener(event)
             except Exception as exc:
-                # Unsubscribe after the loop (mutating the list we are
-                # iterating would skip the next listener) and warn once.
                 if broken is None:
                     broken = []
                 broken.append((listener, exc))
@@ -159,7 +176,7 @@ class EventBus:
 
             for listener, exc in broken:
                 self.n_listener_errors += 1
-                self._listeners.remove(listener)
+                self.unsubscribe(listener)
                 warnings.warn(
                     f"event listener {listener!r} raised "
                     f"{type(exc).__name__}: {exc} on "

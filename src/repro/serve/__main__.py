@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — run the service daemon."""
+
+import sys
+
+from repro.serve.server import serve_main
+
+if __name__ == "__main__":
+    sys.exit(serve_main())

@@ -1,0 +1,116 @@
+"""A small stdlib client for the ``repro-serve`` API.
+
+``urllib``-based, blocking, dependency-free — the same client drives
+the tier-1 end-to-end test, ``benchmarks/bench_serve.py``, and the CI
+serve-smoke job, so the API is exercised exactly the way a user's
+script would.  Event streaming reads the NDJSON endpoint line by line
+as events arrive (the server sends each event unframed and flushes).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx API answer, with the status and decoded body."""
+
+    def __init__(self, status: int, body: Dict):
+        self.status = status
+        self.body = body
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+
+
+class ServeClient:
+    """Blocking client bound to one server base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", "replace")
+            try:
+                doc = json.loads(raw)
+            except ValueError:
+                doc = {"error": raw}
+            raise ServeError(exc.code, doc) from None
+
+    # -- API ----------------------------------------------------------
+
+    def healthz(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, **body) -> Dict:
+        """``POST /jobs``; returns the job record (or, for campaign
+        submissions, the whole ``{"jobs": [...]}`` answer)."""
+        doc = self._request("POST", "/jobs", body)
+        return doc["job"] if "job" in doc else doc
+
+    def job(self, job_id: str) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def jobs(self, **query) -> List[Dict]:
+        qs = "&".join(f"{k}={v}" for k, v in query.items())
+        return self._request("GET", "/jobs" + (f"?{qs}" if qs else ""))["jobs"]
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")["job"]
+
+    def result(self, key: str) -> Dict:
+        return self._request("GET", f"/results/{key}")
+
+    def metrics_text(self) -> str:
+        req = urllib.request.Request(self.base_url + "/metrics")
+        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            return resp.read().decode("utf-8")
+
+    def events(
+        self, job_id: str, start: int = 0, timeout: Optional[float] = None
+    ) -> Iterator[Dict]:
+        """Stream the job's events (replay from ``start``, then live)
+        until the stream closes; the last event is ``JobResolved``."""
+        req = urllib.request.Request(
+            self.base_url + f"/jobs/{job_id}/events?from={start}"
+        )
+        with urllib.request.urlopen(
+            req, timeout=timeout if timeout is not None else self.timeout
+        ) as resp:
+            for raw in resp:
+                line = raw.decode("utf-8").strip()
+                if line:
+                    yield json.loads(line)
+
+    def wait(self, job_id: str, timeout: float = 120.0) -> Dict:
+        """Poll until the job leaves the active states; returns the
+        final record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] not in ("queued", "running"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after {timeout}s"
+                )
+            time.sleep(0.05)

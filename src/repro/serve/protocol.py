@@ -1,0 +1,297 @@
+"""Minimal asyncio HTTP/1.1 layer for the ``repro-serve`` daemon.
+
+Stdlib-only by design (the whole service is ``asyncio.start_server`` +
+hand-rolled request parsing — no ``http.server`` thread pool, no web
+framework): a :class:`Router` maps ``(method, path pattern)`` pairs to
+async handlers, and :func:`serve_connection` speaks just enough
+HTTP/1.1 for the service's API: request line + headers, a
+``Content-Length`` body, keep-alive for plain responses, and unframed
+``Connection: close`` bodies for live event streams (the universally
+compatible way to stream NDJSON/SSE without chunked framing).
+
+Handlers receive a :class:`Request` and return a :class:`Response`;
+raising :class:`HttpError` anywhere inside a handler produces the
+matching JSON error response.  A client that disconnects mid-stream
+only cancels its own response generator — the generator's ``finally``
+runs, so subscriptions are always released.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from dataclasses import dataclass, field
+from typing import (
+    AsyncIterator,
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+__all__ = ["HttpError", "Request", "Response", "Router", "serve_connection"]
+
+#: Upper bounds keeping one bad client from exhausting the process.
+MAX_HEADER_BYTES = 32 * 1024
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+HEADER_TIMEOUT = 30.0
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Raise inside a handler to produce a JSON error response."""
+
+    def __init__(self, status: int, message: str, headers: Optional[Dict] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]  #: keys lowercased
+    body: bytes
+    params: Dict[str, str] = field(default_factory=dict)  #: route captures
+
+    def json(self) -> Dict:
+        """The body as a JSON object (:class:`HttpError` 400 otherwise)."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            doc = json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}")
+        if not isinstance(doc, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return doc
+
+
+class Response:
+    """A plain (buffered) or streaming HTTP response.
+
+    ``body`` may be ``bytes``, ``str``, or any JSON-serializable object
+    (rendered with ``application/json``).  ``stream`` — an async
+    iterator of ``bytes``/``str`` chunks — takes precedence and is sent
+    unframed with ``Connection: close``.
+    """
+
+    def __init__(
+        self,
+        body: Union[bytes, str, Dict, List, None] = None,
+        status: int = 200,
+        content_type: Optional[str] = None,
+        headers: Optional[Dict[str, str]] = None,
+        stream: Optional[AsyncIterator[Union[bytes, str]]] = None,
+    ):
+        self.status = status
+        self.headers = dict(headers or {})
+        self.stream = stream
+        if stream is not None:
+            self.body = b""
+            self.content_type = content_type or "application/x-ndjson"
+        elif isinstance(body, bytes):
+            self.body = body
+            self.content_type = content_type or "application/octet-stream"
+        elif isinstance(body, str):
+            self.body = body.encode("utf-8")
+            self.content_type = content_type or "text/plain; charset=utf-8"
+        elif body is None:
+            self.body = b""
+            self.content_type = content_type or "text/plain; charset=utf-8"
+        else:
+            self.body = (json.dumps(body, indent=2) + "\n").encode("utf-8")
+            self.content_type = content_type or "application/json"
+
+    @staticmethod
+    def error(status: int, message: str, headers: Optional[Dict] = None) -> "Response":
+        return Response({"error": message, "status": status}, status=status,
+                        headers=headers)
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+class Router:
+    """``(method, "/jobs/{id}/events")`` -> handler dispatch table.
+
+    ``{name}`` segments capture one path segment into
+    ``request.params[name]``.  A path that matches with the wrong
+    method yields 405 (with ``Allow``), an unknown path 404.
+    """
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, "re.Pattern[str]", Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        regex = re.compile(
+            "^"
+            + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern)
+            + "$"
+        )
+        self._routes.append((method.upper(), regex, handler))
+
+    def resolve(self, method: str, path: str) -> Tuple[Handler, Dict[str, str]]:
+        allowed = set()
+        for route_method, regex, handler in self._routes:
+            match = regex.match(path)
+            if match is None:
+                continue
+            if route_method == method.upper():
+                return handler, match.groupdict()
+            allowed.add(route_method)
+        if allowed:
+            raise HttpError(
+                405, f"method {method} not allowed",
+                headers={"Allow": ", ".join(sorted(allowed))},
+            )
+        raise HttpError(404, f"no route for {path}")
+
+
+def _parse_query(raw: str) -> Dict[str, str]:
+    query: Dict[str, str] = {}
+    for part in raw.split("&"):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        query[key] = value
+    return query
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on a clean EOF."""
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=HEADER_TIMEOUT
+        )
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request head too large")
+    except asyncio.TimeoutError:
+        return None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(400, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target = parts[0], parts[1]
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    path, _, raw_query = target.partition("?")
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise HttpError(400, "bad Content-Length")
+    if length > max_body_bytes:
+        raise HttpError(413, f"body exceeds {max_body_bytes} bytes")
+    body = await reader.readexactly(length) if length else b""
+    return Request(method, path, _parse_query(raw_query), headers, body)
+
+
+def _head_bytes(response: Response, close: bool, streaming: bool) -> bytes:
+    reason = _REASONS.get(response.status, "Unknown")
+    lines = [f"HTTP/1.1 {response.status} {reason}"]
+    headers = dict(response.headers)
+    headers.setdefault("Content-Type", response.content_type)
+    if streaming:
+        headers["Connection"] = "close"
+        headers.setdefault("Cache-Control", "no-store")
+    else:
+        headers["Content-Length"] = str(len(response.body))
+        headers["Connection"] = "close" if close else "keep-alive"
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def serve_connection(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    router: Router,
+    *,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    observe: Optional[Callable[[Request, int], None]] = None,
+) -> None:
+    """Speak HTTP/1.1 on one connection until close.
+
+    ``observe(request, status)`` fires once per completed exchange (the
+    server's request metrics hook).  Handler exceptions produce a 500
+    without killing the server; client disconnects are silent.
+    """
+    try:
+        while True:
+            request: Optional[Request] = None
+            try:
+                request = await _read_request(reader, max_body_bytes)
+                if request is None:
+                    return
+                handler, params = router.resolve(request.method, request.path)
+                request.params = params
+                response = await handler(request)
+            except HttpError as exc:
+                response = Response.error(exc.status, exc.message, exc.headers)
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            except Exception as exc:  # handler bug: report, keep serving
+                response = Response.error(500, f"{type(exc).__name__}: {exc}")
+            if observe is not None and request is not None:
+                observe(request, response.status)
+            close = (
+                request is None
+                or request.headers.get("connection", "").lower() == "close"
+            )
+            if response.stream is not None:
+                writer.write(_head_bytes(response, True, streaming=True))
+                await writer.drain()
+                async for chunk in response.stream:
+                    if isinstance(chunk, str):
+                        chunk = chunk.encode("utf-8")
+                    writer.write(chunk)
+                    await writer.drain()
+                return
+            writer.write(_head_bytes(response, close, streaming=False))
+            writer.write(response.body)
+            await writer.drain()
+            if close:
+                return
+    except (ConnectionError, asyncio.IncompleteReadError, asyncio.CancelledError):
+        pass  # client went away; nothing to salvage
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -19,6 +19,7 @@ DOC_FILES = [
     "docs/fault-models.md",
     "docs/formats.md",
     "docs/observability.md",
+    "docs/serving.md",
 ]
 
 

@@ -210,6 +210,100 @@ def test_event_bus_subscribe_unsubscribe():
     assert bus.n_emitted == 2
 
 
+def test_event_bus_unsubscribe_is_idempotent():
+    bus = EventBus()
+    listener = bus.subscribe(lambda e: None)
+    assert bus.unsubscribe(listener) is True
+    assert bus.unsubscribe(listener) is False  # no ValueError, no-op
+
+
+def test_event_bus_subscribe_from_listener_takes_effect_next_emit():
+    bus = EventBus()
+    late = []
+
+    def attach_once(event):
+        bus.unsubscribe(attach_once)
+        bus.subscribe(late.append)
+
+    bus.subscribe(attach_once)
+    bus.emit(StageStarted("first", 1))
+    assert late == []  # attached mid-emit: not called for this event
+    bus.emit(StageStarted("second", 1))
+    assert [e.stage for e in late] == ["second"]
+
+
+def test_event_bus_detach_other_listener_mid_emit():
+    bus = EventBus()
+    seen_a, seen_b = [], []
+
+    def detach_b(event):
+        bus.unsubscribe(listener_b)
+
+    bus.subscribe(detach_b)
+    bus.subscribe(seen_a.append)
+    listener_b = bus.subscribe(seen_b.append)
+    bus.emit(StageStarted("x", 1))
+    # The detached listener is skipped even though it was in the
+    # snapshot; the untouched listener still gets the event.
+    assert [e.stage for e in seen_a] == ["x"]
+    assert seen_b == []
+
+
+def test_event_bus_cross_thread_detach_does_not_disturb_others():
+    import threading
+
+    bus = EventBus()
+    survivor = []
+    victims = [bus.subscribe(lambda e: None) for _ in range(8)]
+    bus.subscribe(survivor.append)
+    stop = threading.Event()
+
+    def emitter():
+        while not stop.is_set():
+            bus.emit(StageStarted("spin", 1))
+
+    thread = threading.Thread(target=emitter)
+    thread.start()
+    try:
+        # A serving front end detaching disconnected clients while the
+        # flow thread keeps emitting.
+        for victim in victims:
+            bus.unsubscribe(victim)
+    finally:
+        stop.set()
+        thread.join()
+    n_before = len(survivor)
+    bus.emit(StageStarted("after", 1))
+    assert len(survivor) == n_before + 1  # survivor never detached
+
+
+def test_event_bus_raising_listener_dropped_without_disturbing_run(celem):
+    import warnings
+
+    # A listener that dies mid-run (the serving analog: a client whose
+    # connection broke) is unsubscribed after one warning; the run
+    # completes and the steady listener sees the full stream.
+    steady = []
+    flaky_seen = []
+
+    def flaky(event):
+        flaky_seen.append(event)
+        if len(flaky_seen) == 3:
+            raise ConnectionResetError("client went away")
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = Flow.default().run(
+            celem, AtpgOptions(seed=1), listeners=[steady.append, flaky]
+        )
+    assert result.coverage == 1.0
+    assert len(flaky_seen) == 3  # dropped right after it raised
+    assert len(steady) > 3  # everyone else got the whole stream
+    assert any(
+        issubclass(w.category, RuntimeWarning) for w in caught
+    )
+
+
 # -- consumers ---------------------------------------------------------------
 
 

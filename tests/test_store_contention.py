@@ -1,0 +1,172 @@
+"""Concurrency and maintenance guarantees of the result store.
+
+The contention test is the serving scenario: several *processes*
+hammer the same content key (writers re-putting, readers getting) the
+way parallel ``repro-serve`` workers and campaigns sharing one cache
+directory do.  The store promises last-write-wins with no torn reads —
+every ``get`` observes either a miss or one writer's complete payload,
+never a mix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+
+from repro.campaign.store import ResultStore
+
+KEY = "ab" * 32
+
+
+def _payload(writer_id: int, nonce: int) -> dict:
+    """A payload whose integrity is self-checking: ``digest`` hashes
+    the body, so any cross-writer mixing or truncation is detectable."""
+    body = {"writer": writer_id, "nonce": nonce, "pad": "x" * 2048}
+    digest = hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode()
+    ).hexdigest()
+    return {"body": body, "digest": digest}
+
+
+def _intact(doc: dict) -> bool:
+    return doc["digest"] == hashlib.sha256(
+        json.dumps(doc["body"], sort_keys=True).encode()
+    ).hexdigest()
+
+
+def _writer(root, writer_id, n_rounds, barrier):
+    store = ResultStore(root)
+    barrier.wait()
+    for nonce in range(n_rounds):
+        store.put(KEY, _payload(writer_id, nonce))
+
+
+def _reader(root, n_rounds, barrier, bad_counter):
+    store = ResultStore(root)
+    barrier.wait()
+    for _ in range(n_rounds):
+        doc = store.get(KEY)
+        if doc is not None and not _intact(doc):
+            with bad_counter.get_lock():
+                bad_counter.value += 1
+
+
+def test_concurrent_same_key_writers_never_tear(tmp_path):
+    n_writers, n_readers, n_rounds = 3, 2, 40
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(n_writers + n_readers)
+    bad = ctx.Value("i", 0)
+    procs = [
+        ctx.Process(target=_writer, args=(tmp_path, wid, n_rounds, barrier))
+        for wid in range(n_writers)
+    ] + [
+        ctx.Process(target=_reader, args=(tmp_path, n_rounds, barrier, bad))
+        for _ in range(n_readers)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    assert bad.value == 0, f"{bad.value} torn reads observed"
+    # Last write wins: the final entry is some writer's complete payload.
+    store = ResultStore(tmp_path)
+    final = store.get(KEY)
+    assert final is not None and _intact(final)
+    assert final["body"]["nonce"] == n_rounds - 1
+    # No temp-file litter survived the stampede.
+    assert not list((tmp_path / "results").glob("*/.*.tmp"))
+
+
+# -- maintenance (repro-cache backing) ---------------------------------------
+
+
+def test_entries_ordered_oldest_first(tmp_path):
+    store = ResultStore(tmp_path)
+    for i in range(3):
+        store.put(f"{i:02d}" + "cd" * 31, {"i": i})
+    paths = {key: store.path_for(key) for key in store.iter_keys()}
+    now = time.time()
+    for i, key in enumerate(sorted(paths)):
+        os.utime(paths[key], (now - (3 - i) * 1000,) * 2)
+    entries = store.entries()
+    assert [e[0][:2] for e in entries] == ["00", "01", "02"]
+    assert all(size > 0 for _, _, size, _ in entries)
+
+
+def test_prune_by_age_and_size(tmp_path):
+    store = ResultStore(tmp_path)
+    keys = [f"{i:02d}" + "ef" * 31 for i in range(4)]
+    for i, key in enumerate(keys):
+        store.put(key, {"i": i, "pad": "y" * 500})
+    now = time.time()
+    # keys[0] is ancient; the rest are spaced a minute apart.
+    os.utime(store.path_for(keys[0]), (now - 10 * 86400,) * 2)
+    for i, key in enumerate(keys[1:], start=1):
+        os.utime(store.path_for(key), (now - (4 - i) * 60,) * 2)
+
+    n, freed = store.prune(max_age_seconds=86400)
+    assert n == 1 and freed > 0
+    assert not store.has(keys[0]) and all(store.has(k) for k in keys[1:])
+
+    # Size bound evicts oldest-first until the store fits.
+    one_entry = store.entries()[0][2]
+    n, freed = store.prune(max_total_bytes=one_entry)
+    assert n == 2
+    assert [e[0] for e in store.entries()] == [keys[3]]
+
+
+def test_prune_reaps_orphan_tmp_files(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(KEY, {"ok": True})
+    orphan = store.path_for(KEY).parent / ".deadbeef-stale.tmp"
+    orphan.write_text("partial garbage")
+    os.utime(orphan, (time.time() - 7200,) * 2)
+    fresh = store.path_for(KEY).parent / ".cafecafe-live.tmp"
+    fresh.write_text("in-flight write")
+    n, _freed = store.prune()
+    assert n == 1
+    assert not orphan.exists()
+    assert fresh.exists()  # recent tmp: presumed in-flight, spared
+    assert store.get(KEY) == {"ok": True}
+
+
+def test_stats_counts_hits_and_misses_across_instances(tmp_path):
+    store = ResultStore(tmp_path, track_stats=True)
+    store.put(KEY, {"v": 1})
+    store.get(KEY)
+    store.get("ff" * 32)
+    store.get(KEY)
+    # A second instance (another process in real life) reads the same log.
+    doc = ResultStore(tmp_path).stats()
+    assert doc["n_entries"] == 1
+    assert doc["lookups"] == {"hits": 2, "misses": 1, "hit_rate": 0.6667}
+
+
+def test_repro_cache_cli_smoke(tmp_path, capsys):
+    from repro.cli import cache_main
+
+    store = ResultStore(tmp_path)
+    for i in range(2):
+        store.put(f"{i:02d}" + "aa" * 31, {"i": i})
+
+    assert cache_main(["list", "--cache-dir", str(tmp_path)]) == 0
+    assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+    assert cache_main(["stats", "--cache-dir", str(tmp_path), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["n_entries"] == 2
+
+    assert cache_main(
+        ["prune", "--cache-dir", str(tmp_path), "--max-size-mb", "0",
+         "--dry-run"]
+    ) == 0
+    assert "would remove 2" in capsys.readouterr().out
+    assert len(store) == 2  # dry run removed nothing
+
+    assert cache_main(["prune", "--cache-dir", str(tmp_path)]) == 2  # no bounds
+    assert cache_main(["clear", "--cache-dir", str(tmp_path)]) == 0
+    assert len(store) == 0
