@@ -12,6 +12,10 @@ This package runs such campaigns as first-class objects:
   serialized :class:`~repro.core.atpg.AtpgResult` JSON, so a job whose
   inputs haven't changed is never recomputed and interrupted campaigns
   resume where they stopped;
+* :mod:`repro.campaign.cohort` — the incremental layer beneath the
+  whole-job cache: fault cohorts keyed by structural cone of influence,
+  per-cohort partial payloads, and the merge that reassembles a full
+  result so an edit re-runs only the cohorts its cone changes touch;
 * :mod:`repro.campaign.runner` — shard jobs across a ``multiprocessing``
   worker pool (per-job timeouts, crash isolation, live progress), or run
   them in-process with ``workers=0`` for honest single-stream timings;
@@ -28,10 +32,19 @@ from repro.campaign.artifacts import (
     rows_from_outcomes,
     write_artifacts,
 )
+from repro.campaign.cohort import (
+    Cohort,
+    IncrementalStats,
+    cohort_key,
+    cohort_salt,
+    cone_of,
+    partition,
+)
 from repro.campaign.plan import (
     CODE_VERSION,
     CampaignSpec,
     Job,
+    cohort_plan,
     expand,
     job_key,
     source_fingerprint,
@@ -40,6 +53,7 @@ from repro.campaign.runner import (
     CampaignReport,
     JobOutcome,
     execute_job,
+    execute_job_incremental,
     load_job_circuit,
     run_campaign,
 )
@@ -50,15 +64,23 @@ __all__ = [
     "CODE_VERSION",
     "CampaignReport",
     "CampaignSpec",
+    "Cohort",
+    "IncrementalStats",
     "Job",
     "JobOutcome",
     "ResultStore",
     "campaign_manifest",
+    "cohort_key",
+    "cohort_plan",
+    "cohort_salt",
+    "cone_of",
     "default_cache_dir",
     "execute_job",
+    "execute_job_incremental",
     "expand",
     "job_key",
     "load_job_circuit",
+    "partition",
     "rows_from_outcomes",
     "run_campaign",
     "source_fingerprint",

@@ -152,7 +152,23 @@ def campaign_manifest(
                 n_aborted=outcome.payload["n_aborted"],
                 n_tests=len(outcome.payload["tests"]),
             )
+        if outcome.incremental is not None:
+            record["incremental"] = dict(outcome.incremental)
         jobs.append(record)
+    incremental = [o.incremental for o in report.outcomes if o.incremental]
+    cohort_totals = (
+        {
+            "cohorts_total": sum(d.get("cohorts_total", 0) for d in incremental),
+            "cohorts_reused": sum(
+                d.get("cohorts_reused", 0) for d in incremental
+            ),
+            "cohorts_executed": sum(
+                d.get("cohorts_executed", 0) for d in incremental
+            ),
+        }
+        if incremental
+        else None
+    )
     return {
         "schema_version": ARTIFACT_SCHEMA_VERSION,
         "code_version": CODE_VERSION,
@@ -165,6 +181,9 @@ def campaign_manifest(
             "n_failed": report.n_failed,
             "wall_seconds": report.wall_seconds,
             "workers": report.workers,
+            #: None unless some job ran incrementally (see
+            #: docs/incremental.md); sums cohort reuse across such jobs.
+            "incremental": cohort_totals,
         },
         "jobs": jobs,
         "rows": [row.to_dict() for row in rows],

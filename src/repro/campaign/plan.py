@@ -185,6 +185,30 @@ def job_key(
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def cohort_plan(job: Job) -> List["object"]:
+    """Expand one job into its cohort-granular work units.
+
+    Cohorts are the incremental cache's addressing unit: the job's
+    fault universe partitioned by structural cone of influence, each
+    with a content key over the canonicalized cone sub-netlist (see
+    :mod:`repro.campaign.cohort`).  The runner computes the same
+    partition internally; this entry point exists so planning tools
+    (``repro-campaign plan``, the serve front end) can enumerate and
+    display cohort keys without executing anything.
+
+    Imports lazily: plan construction must stay cheap and free of the
+    circuit/flow machinery for the common cached-campaign path.
+    """
+    from repro.campaign import cohort as _cohort
+    from repro.campaign.runner import load_job_circuit
+    from repro.circuit.faults import fault_universe
+
+    circuit = load_job_circuit(job)
+    universe = fault_universe(circuit, job.options.fault_model)
+    salt = _cohort.cohort_salt(circuit, job.style, job.options)
+    return _cohort.partition(circuit, universe, salt)
+
+
 def _display_name(
     base: str,
     style: str,

@@ -79,6 +79,10 @@ class JobOutcome:
     error: str = ""
     seconds: float = 0.0
     live: Optional[AtpgResult] = field(default=None, repr=False)
+    #: Cohort reuse accounting when the job ran incrementally (the
+    #: :meth:`~repro.campaign.cohort.IncrementalStats.to_json_dict`
+    #: shape); ``None`` for plain runs and cache hits.
+    incremental: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -198,6 +202,177 @@ def execute_job(
     return Flow.default().run(circuit, opts, cssg=cssg, listeners=listeners)
 
 
+def _incremental_cssg(
+    circuit: Circuit,
+    job: Job,
+    store: ResultStore,
+    cssg_memo: Optional[Dict],
+    listeners,
+    stats,
+    refresh: bool = False,
+):
+    """The job's CSSG, by preference: batch memo → structural cache →
+    fresh construction (which then populates both).  The cache key is
+    the name-free structural fingerprint, so renames and
+    logic-preserving rewrites reuse the graph outright."""
+    from repro.campaign import cohort as _cohort
+
+    opts = job.options
+    method = resolve_cssg_method(circuit, opts)
+    memo_key = (job.group, opts.k, opts.max_input_changes, method)
+    if cssg_memo is not None:
+        cssg = cssg_memo.get(memo_key)
+        if cssg is not None:
+            return cssg
+    fingerprint = _cohort.cssg_fingerprint(
+        circuit, opts.k, opts.max_input_changes, method
+    )
+    cssg = None
+    if not refresh:
+        cssg = _cohort.cssg_from_doc(circuit, store.get_cssg(fingerprint))
+    if cssg is not None:
+        stats.cssg_reused = True
+    else:
+        from repro.circuit.faults import fault_universe
+        from repro.flow import StageFinished, StageStarted
+
+        n_faults = len(fault_universe(circuit, opts.fault_model))
+        for listener in listeners:
+            listener(StageStarted("cssg", n_faults))
+        t0 = time.perf_counter()
+        cssg = cssg_for(circuit, opts)
+        for listener in listeners:
+            listener(
+                StageFinished(
+                    "cssg",
+                    time.perf_counter() - t0,
+                    f"{cssg.n_states} states / {cssg.n_edges} edges "
+                    f"[{cssg.method}]",
+                )
+            )
+        store.put_cssg(fingerprint, _cohort.cssg_to_doc(cssg))
+    if cssg_memo is not None:
+        cssg_memo[memo_key] = cssg
+    return cssg
+
+
+def execute_job_incremental(
+    job: Job,
+    store: Optional[ResultStore],
+    cssg_memo: Optional[Dict] = None,
+    listeners=(),
+    refresh: bool = False,
+):
+    """Resolve one job through the per-cohort incremental cache.
+
+    Returns ``(payload, live_result_or_None, stats_or_None)``:
+
+    * every cohort cached → **pure merge**: the payload is reassembled
+      from the partials without building a CSSG or running the flow
+      (``live_result`` is None);
+    * some cohorts stale → one :class:`~repro.flow.Flow` run over the
+      full universe with a leading
+      :class:`~repro.flow.stages.ReplayStage` injecting the cached
+      verdicts, so the generating stages see only the stale faults;
+      fresh partials are then stored for *every* cohort, keeping all of
+      a partition's partials on one producing run;
+    * no store, or a deadline-bounded job (a budget abort would cache
+      partial verdicts as if they were final — the documented
+      "cohort hit impossible" case) → plain :func:`execute_job`,
+      ``stats`` None.
+
+    ``refresh`` skips all cache *reads* but still repopulates partials
+    and the CSSG cache, restoring full-fidelity entries after a chain
+    of approximate incremental reruns.
+    """
+    opts = job.options
+    if store is None or opts.deadline_seconds is not None:
+        result = execute_job(job, cssg_memo, listeners=listeners)
+        return result.to_json_dict(), result, None
+
+    from repro.campaign import cohort as _cohort
+    from repro.circuit.faults import fault_universe
+
+    t_start = time.perf_counter()
+    circuit = load_job_circuit(job)
+    universe = fault_universe(circuit, opts.fault_model)
+    salt = _cohort.cohort_salt(circuit, job.style, opts)
+    cohorts = _cohort.partition(circuit, universe, salt)
+    stats = _cohort.IncrementalStats(cohorts_total=len(cohorts))
+
+    cached: List[Optional[Dict]] = []
+    for cohort in cohorts:
+        doc = None if refresh else store.get_cohort(cohort.key)
+        if doc is not None and not _cohort.validate_partial(
+            circuit, cohort, doc
+        ):
+            doc = None
+        cached.append(doc)
+    reused = [
+        (cohort, doc) for cohort, doc in zip(cohorts, cached) if doc is not None
+    ]
+    stale = [cohort for cohort, doc in zip(cohorts, cached) if doc is None]
+    stats.cohorts_reused = len(reused)
+    stats.cohorts_executed = len(stale)
+    stats.faults_reused = sum(len(c.faults) for c, _ in reused)
+    stats.faults_executed = sum(len(c.faults) for c in stale)
+
+    if not stale:
+        # Pure merge: no CSSG, no flow — reassemble the payload.
+        payload = _cohort.merge_payload(
+            circuit,
+            opts,
+            universe,
+            [cohort for cohort, _ in reused],
+            [doc for _, doc in reused],
+            cpu_seconds=time.perf_counter() - t_start,
+        )
+        return payload, None, stats
+
+    cssg = _incremental_cssg(
+        circuit, job, store, cssg_memo, listeners, stats, refresh=refresh
+    )
+    from repro.flow.stages import ReplayStage
+
+    plan = _cohort.build_replay_plan(
+        [cohort for cohort, _ in reused], [doc for _, doc in reused]
+    )
+    flow = Flow([ReplayStage(plan)] + list(Flow.default().stages))
+    result = flow.run(
+        circuit, opts, faults=list(universe), cssg=cssg, listeners=listeners
+    )
+    payload = result.to_json_dict()
+    canonical = {k: v for k, v in payload.items() if k != "telemetry"}
+    # Re-extract *every* cohort from this run's payload, not just the
+    # stale ones: reused partials get re-normalized onto this producing
+    # run, so all partials of a partition always reference one run and
+    # a later merge reassembles this payload position-exactly.
+    partials = _cohort.extract_partials(circuit, canonical, cohorts, job.key)
+    for cohort in cohorts:
+        store.put_cohort(cohort.key, partials[cohort.key])
+    return payload, result, stats
+
+
+def note_incremental_stats(stats) -> None:
+    """Fold one incremental execution's cohort accounting into the
+    ambient metrics registry (call exactly once per job, parent-side —
+    never inside a telemetry-collected worker, which would double-count
+    through the snapshot merge).  Accepts an
+    :class:`~repro.campaign.cohort.IncrementalStats` or its dict form;
+    ``None`` is a no-op."""
+    if stats is None or not _obs.enabled():
+        return
+    doc = stats if isinstance(stats, dict) else stats.to_json_dict()
+    counter = _obs.get_registry().counter(
+        "repro_incremental_cohorts_total",
+        "Fault cohorts planned/reused/executed by incremental re-ATPG.",
+        ("outcome",),
+    )
+    counter.labels("planned").inc(doc.get("cohorts_total", 0))
+    counter.labels("reused").inc(doc.get("cohorts_reused", 0))
+    counter.labels("executed").inc(doc.get("cohorts_executed", 0))
+
+
 def _fresh_payload(store: Optional[ResultStore], job: Job) -> Optional[Dict]:
     """The cached payload for ``job``, if present and schema-compatible."""
     if store is None:
@@ -225,6 +400,9 @@ def _worker_main(
     event_q,
     collect_telemetry: bool = False,
     relay_events: bool = False,
+    incremental: bool = False,
+    cache_root: Optional[str] = None,
+    refresh: bool = False,
 ) -> None:
     """Worker loop: run dispatched job batches until the ``None``
     sentinel.  A batch is one source circuit's group (or the remainder
@@ -246,7 +424,21 @@ def _worker_main(
     subscribed clients, and any event doubles as a sign of life for the
     parent's hang policing.  (Campaigns keep the cheap heartbeat: a
     23-benchmark batch has no event subscribers, so shipping the full
-    stream across the process boundary would be pure overhead.)"""
+    stream across the process boundary would be pure overhead.)
+
+    With ``incremental`` (and a ``cache_root``), jobs resolve through
+    :func:`execute_job_incremental` against a worker-local
+    :class:`ResultStore`; the cohort-reuse stats ride as a sixth
+    ``done``-event element so the *parent* folds them into its registry
+    exactly once."""
+    # track_stats: cohort/cssg lookups are the incremental layer's whole
+    # point — their hit/miss ledger (capped stats.log) is what
+    # ``repro-cache stats`` and the serve /metrics gauges report.
+    inc_store = (
+        ResultStore(cache_root, track_stats=True)
+        if incremental and cache_root
+        else None
+    )
     while True:
         item = task_q.get()
         if item is None:
@@ -280,11 +472,22 @@ def _worker_main(
             else:
                 listener = Heartbeat(send, min_interval=HEARTBEAT_INTERVAL)
             try:
-                result = execute_job(job, cssg_memo, listeners=(listener,))
-                event_q.put(
-                    ("done", wid, job.key, time.perf_counter() - t0,
-                     result.to_json_dict())
-                )
+                if inc_store is not None:
+                    payload, _live, inc = execute_job_incremental(
+                        job, inc_store, cssg_memo,
+                        listeners=(listener,), refresh=refresh,
+                    )
+                    event_q.put(
+                        ("done", wid, job.key, time.perf_counter() - t0,
+                         payload,
+                         None if inc is None else inc.to_json_dict())
+                    )
+                else:
+                    result = execute_job(job, cssg_memo, listeners=(listener,))
+                    event_q.put(
+                        ("done", wid, job.key, time.perf_counter() - t0,
+                         result.to_json_dict())
+                    )
             except Exception as exc:  # report and keep the worker alive
                 event_q.put(
                     ("fail", wid, job.key, time.perf_counter() - t0,
@@ -331,12 +534,18 @@ class _Pool:
         hang_timeout: Optional[float] = None,
         collect_telemetry: bool = False,
         relay_events: bool = False,
+        incremental: bool = False,
+        cache_root: Optional[str] = None,
+        refresh: bool = False,
     ):
         self.ctx = _mp_context()
         self.event_q = self.ctx.Queue()
         self.timeout = timeout
         self.collect_telemetry = collect_telemetry
         self.relay_events = relay_events
+        self.incremental = incremental
+        self.cache_root = cache_root
+        self.refresh = refresh
         #: dispatch instant per job key, for queue-wait accounting.
         self.dispatched_at: Dict[str, float] = {}
         self.n_respawns = 0
@@ -385,6 +594,7 @@ class _Pool:
             args=(
                 wid, task_q, self.event_q,
                 self.collect_telemetry, self.relay_events,
+                self.incremental, self.cache_root, self.refresh,
             ),
             daemon=True,
         )
@@ -467,6 +677,7 @@ def run_campaign(
     hang_timeout: Optional[float] = DEFAULT_HANG_TIMEOUT,
     collect_telemetry: bool = False,
     dashboard=None,
+    incremental: bool = False,
 ) -> CampaignReport:
     """Resolve every job: from the cache when possible, else by running
     it.  ``workers=0`` executes in-process; ``workers=None`` uses the
@@ -489,7 +700,13 @@ def run_campaign(
     snapshot)`` / ``on_outcome(outcome, done, total)`` hooks — the
     runner drives it, the caller owns (and closes) it.  Neither option
     changes a single payload byte that reaches the store: the cache
-    always holds the canonical, telemetry-free result."""
+    always holds the canonical, telemetry-free result.
+
+    ``incremental`` resolves jobs that miss the whole-result cache
+    through :func:`execute_job_incremental`: per-fault-cohort partials
+    and a structurally-fingerprinted CSSG cache turn an edit-rerun into
+    O(changed logic).  Requires a ``store``; deadline-bounded jobs fall
+    back to plain execution (see docs/incremental.md)."""
     jobs = list(jobs)
     if workers is None:
         workers = os.cpu_count() or 1
@@ -539,16 +756,34 @@ def run_campaign(
                 last_group = job.group
             t0 = time.perf_counter()
             try:
-                result = execute_job(job, cssg_memo)
-                resolve(
-                    JobOutcome(
-                        job,
-                        "ran",
-                        payload=result.to_json_dict(),
-                        seconds=time.perf_counter() - t0,
-                        live=result,
+                if incremental and store is not None:
+                    payload, live, inc = execute_job_incremental(
+                        job, store, cssg_memo, refresh=refresh
                     )
-                )
+                    note_incremental_stats(inc)
+                    resolve(
+                        JobOutcome(
+                            job,
+                            "ran",
+                            payload=payload,
+                            seconds=time.perf_counter() - t0,
+                            live=live,
+                            incremental=(
+                                None if inc is None else inc.to_json_dict()
+                            ),
+                        )
+                    )
+                else:
+                    result = execute_job(job, cssg_memo)
+                    resolve(
+                        JobOutcome(
+                            job,
+                            "ran",
+                            payload=result.to_json_dict(),
+                            seconds=time.perf_counter() - t0,
+                            live=result,
+                        )
+                    )
             except Exception as exc:
                 resolve(
                     JobOutcome(
@@ -562,6 +797,9 @@ def run_campaign(
         _run_pool(
             pending, min(workers, len(pending)), timeout, resolve,
             hang_timeout, collect_telemetry, dashboard,
+            incremental=incremental and store is not None,
+            cache_root=str(store.root) if store is not None else None,
+            refresh=refresh,
         )
 
     return CampaignReport(
@@ -580,8 +818,14 @@ def _run_pool(
     hang_timeout: Optional[float] = None,
     collect_telemetry: bool = False,
     dashboard=None,
+    incremental: bool = False,
+    cache_root: Optional[str] = None,
+    refresh: bool = False,
 ) -> None:
-    pool = _Pool(pending, workers, timeout, hang_timeout, collect_telemetry)
+    pool = _Pool(
+        pending, workers, timeout, hang_timeout, collect_telemetry,
+        incremental=incremental, cache_root=cache_root, refresh=refresh,
+    )
     unresolved = {j.key for j in pending}
     try:
         for _ in range(workers):
@@ -624,8 +868,15 @@ def _run_pool(
                 job = pool.job_of[key]
                 if kind == "done":
                     payload = event[4]
+                    inc = event[5] if len(event) > 5 else None
+                    note_incremental_stats(inc)
                     _absorb_job_telemetry(pool, key, seconds, payload)
-                    resolve(JobOutcome(job, "ran", payload=payload, seconds=seconds))
+                    resolve(
+                        JobOutcome(
+                            job, "ran", payload=payload, seconds=seconds,
+                            incremental=inc,
+                        )
+                    )
                 else:
                     _absorb_job_telemetry(pool, key, seconds, None)
                     resolve(JobOutcome(job, "failed", error=event[4], seconds=seconds))

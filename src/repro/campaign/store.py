@@ -1,26 +1,34 @@
 """Content-addressed on-disk result cache.
 
-Each entry is one job's serialized :class:`~repro.core.atpg.AtpgResult`
-JSON, filed under its content hash::
+The store files three entry classes under one cache directory, each a
+JSON document keyed by content hash::
 
-    <root>/results/<key[:2]>/<key>.json
+    <root>/results/<key[:2]>/<key>.json   whole-job AtpgResult payloads
+    <root>/cohorts/<key[:2]>/<key>.json   per-cohort partial payloads
+    <root>/cssg/<key[:2]>/<key>.json      CSSGs by structural fingerprint
 
-The key already encodes the netlist bytes, options, code version, and
-result schema version (see :mod:`repro.campaign.plan`), so invalidation
-is automatic: any change produces a different key, and stale entries are
-simply never addressed again.  Writes are atomic (temp file + ``fsync``
-+ ``os.replace``) so concurrent campaigns — or the ``repro-serve``
-daemon's parallel workers — sharing a cache directory can only ever
-observe complete entries; when several writers race on the same key the
-last replace wins and every reader sees one complete payload or a miss,
-never a torn file.  Corrupt or foreign files read as cache misses.
+Keys already encode everything the entry depends on (netlist bytes or
+cone sub-netlist, options, code version, schema versions — see
+:mod:`repro.campaign.plan` and :mod:`repro.campaign.cohort`), so
+invalidation is automatic: any change produces a different key, and
+stale entries are simply never addressed again.  Writes are atomic
+(temp file + ``fsync`` + ``os.replace``) so concurrent campaigns — or
+the ``repro-serve`` daemon's parallel workers — sharing a cache
+directory can only ever observe complete entries; when several writers
+race on the same key the last replace wins and every reader sees one
+complete payload or a miss, never a torn file.  Corrupt or foreign
+files read as cache misses.
 
 The store is also a maintainable artifact: :meth:`ResultStore.entries`
-/ :meth:`~ResultStore.prune` / :meth:`~ResultStore.stats` back the
-``repro-cache`` CLI (list, age/size-bounded pruning, hit statistics),
-and ``track_stats=True`` appends one ``hit|miss <key>`` line per lookup
-to ``<root>/stats.log`` (O_APPEND, crash-safe) so long-lived services
-can report hit rates across restarts.
+/ :meth:`~ResultStore.prune` / :meth:`~ResultStore.prune_plan` /
+:meth:`~ResultStore.stats` back the ``repro-cache`` CLI (list, age- and
+size-bounded pruning with a per-class dry-run, hit statistics), and
+``track_stats=True`` appends one ``<class->hit|miss <key>`` line per
+lookup to ``<root>/stats.log`` (O_APPEND, crash-safe) so long-lived
+services can report hit rates across restarts.  The log is bounded:
+past :data:`STATS_LOG_MAX_BYTES` it is compacted into a single
+``summary`` line carrying the same tallies (atomic replace; a racing
+appender can at worst lose its own line, never corrupt the counts).
 """
 
 from __future__ import annotations
@@ -33,6 +41,19 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.obs import metrics as _obs
+
+#: Entry classes, in reporting order.
+ENTRY_CLASSES = ("results", "cohorts", "cssg")
+
+#: Compact ``stats.log`` once it grows past this many bytes.
+STATS_LOG_MAX_BYTES = 256 * 1024
+
+#: (log line prefix, obs counter name) per entry class.
+_CLASS_META = {
+    "results": ("", "repro_campaign_cache_requests_total"),
+    "cohorts": ("cohort-", "repro_campaign_cohort_requests_total"),
+    "cssg": ("cssg-", "repro_campaign_cssg_requests_total"),
+}
 
 
 def default_cache_dir() -> Path:
@@ -56,12 +77,18 @@ class ResultStore:
         self._results = self.root / "results"
         self._stats_log = self.root / "stats.log" if track_stats else None
 
-    def path_for(self, key: str) -> Path:
-        return self._results / key[:2] / f"{key}.json"
+    def _class_dir(self, entry_class: str) -> Path:
+        return self.root / entry_class
 
-    def _log_lookup(self, outcome: str, key: str) -> None:
+    def path_for(self, key: str, entry_class: str = "results") -> Path:
+        return self._class_dir(entry_class) / key[:2] / f"{key}.json"
+
+    # -- lookup statistics ---------------------------------------------
+
+    def _log_lookup(self, outcome: str, key: str, entry_class: str) -> None:
         if self._stats_log is None:
             return
+        prefix = _CLASS_META[entry_class][0]
         try:
             self._stats_log.parent.mkdir(parents=True, exist_ok=True)
             # O_APPEND: one small write per lookup is atomic on POSIX,
@@ -72,15 +99,82 @@ class ResultStore:
                 0o644,
             )
             try:
-                os.write(fd, f"{outcome} {key}\n".encode("ascii"))
+                os.write(fd, f"{prefix}{outcome} {key}\n".encode("ascii"))
+                size = os.fstat(fd).st_size
             finally:
                 os.close(fd)
+            if size > STATS_LOG_MAX_BYTES:
+                self._compact_stats_log()
         except OSError:
             pass  # statistics must never fail a lookup
 
-    def get(self, key: str) -> Optional[Dict]:
-        """The stored payload, or ``None`` (missing or unreadable)."""
-        path = self.path_for(key)
+    def _compact_stats_log(self) -> None:
+        """Fold the per-lookup lines into one ``summary`` line.
+
+        Best-effort and lock-free: the tallies are read, summed, and
+        atomically replace the log.  A lookup appended between the read
+        and the replace loses that one line — an acceptable error for
+        monitoring counters, and the file itself can never tear.
+        """
+        log = self._stats_log
+        if log is None:
+            return
+        counts = self._read_lookup_counts(log)
+        parts = []
+        for entry_class in ENTRY_CLASSES:
+            tag = entry_class if entry_class != "results" else ""
+            h, m = counts[entry_class]
+            parts.append(f"{tag}{'_' if tag else ''}hits={h}")
+            parts.append(f"{tag}{'_' if tag else ''}misses={m}")
+        line = "summary " + " ".join(parts) + "\n"
+        fd, tmp = tempfile.mkstemp(dir=str(log.parent), prefix=".stats-")
+        try:
+            with os.fdopen(fd, "w", encoding="ascii") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, log)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _read_lookup_counts(log: Path) -> Dict[str, List[int]]:
+        """Per-class ``[hits, misses]`` from the log, summary lines
+        included.  Missing/unreadable log reads as all zeros."""
+        counts = {entry_class: [0, 0] for entry_class in ENTRY_CLASSES}
+        try:
+            with open(log, "r", encoding="ascii") as handle:
+                for line in handle:
+                    if line.startswith("summary "):
+                        for token in line.split()[1:]:
+                            name, _, value = token.partition("=")
+                            try:
+                                n = int(value)
+                            except ValueError:
+                                continue
+                            cls, _, kind = name.rpartition("_")
+                            cls = cls or "results"
+                            if cls in counts and kind in ("hits", "misses"):
+                                counts[cls][0 if kind == "hits" else 1] += n
+                        continue
+                    word = line.split(" ", 1)[0]
+                    for entry_class, (prefix, _) in _CLASS_META.items():
+                        if word == f"{prefix}hit":
+                            counts[entry_class][0] += 1
+                        elif word == f"{prefix}miss":
+                            counts[entry_class][1] += 1
+        except OSError:
+            pass
+        return counts
+
+    # -- generic class-aware read/write --------------------------------
+
+    def _read(self, key: str, entry_class: str) -> Optional[Dict]:
+        path = self.path_for(key, entry_class)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -90,27 +184,18 @@ class ResultStore:
             payload = None
         outcome = "miss" if payload is None else "hit"
         if _obs.enabled():
-            # Keys embed the result schema version, so a raw store hit
-            # is a semantic cache hit: nothing stale ever gets a hit.
+            # Keys embed the relevant schema versions, so a raw store
+            # hit is a semantic cache hit: nothing stale gets a hit.
             _obs.get_registry().counter(
-                "repro_campaign_cache_requests_total",
-                "Result-store lookups, by outcome.",
+                _CLASS_META[entry_class][1],
+                f"{entry_class.capitalize()}-store lookups, by outcome.",
                 ("outcome",),
             ).labels(outcome).inc()
-        self._log_lookup(outcome, key)
+        self._log_lookup(outcome, key, entry_class)
         return payload
 
-    def put(self, key: str, payload: Dict) -> Path:
-        """Atomically persist ``payload`` under ``key``.
-
-        The temp file is flushed and fsynced before the ``os.replace``,
-        so a rename is only ever published for fully-durable bytes —
-        a crash mid-write leaves either the old entry or a stray
-        ``.tmp`` (reaped by :meth:`prune`), never a truncated entry.
-        Concurrent same-key writers are safe: each writes its own temp
-        file and the last replace wins whole.
-        """
-        path = self.path_for(key)
+    def _write(self, key: str, payload: Dict, entry_class: str) -> Path:
+        path = self.path_for(key, entry_class)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             dir=str(path.parent), prefix=f".{key[:8]}-", suffix=".tmp"
@@ -129,6 +214,24 @@ class ResultStore:
             raise
         return path
 
+    # -- whole-job results (the original store surface) ----------------
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The stored payload, or ``None`` (missing or unreadable)."""
+        return self._read(key, "results")
+
+    def put(self, key: str, payload: Dict) -> Path:
+        """Atomically persist ``payload`` under ``key``.
+
+        The temp file is flushed and fsynced before the ``os.replace``,
+        so a rename is only ever published for fully-durable bytes —
+        a crash mid-write leaves either the old entry or a stray
+        ``.tmp`` (reaped by :meth:`prune`), never a truncated entry.
+        Concurrent same-key writers are safe: each writes its own temp
+        file and the last replace wins whole.
+        """
+        return self._write(key, payload, "results")
+
     def has(self, key: str) -> bool:
         return self.path_for(key).exists()
 
@@ -139,19 +242,50 @@ class ResultStore:
         except OSError:
             return False
 
+    # -- per-cohort partials and cached CSSGs --------------------------
+
+    def get_cohort(self, key: str) -> Optional[Dict]:
+        """A cached per-cohort partial payload, or ``None``."""
+        return self._read(key, "cohorts")
+
+    def put_cohort(self, key: str, payload: Dict) -> Path:
+        return self._write(key, payload, "cohorts")
+
+    def has_cohort(self, key: str) -> bool:
+        return self.path_for(key, "cohorts").exists()
+
+    def delete_cohort(self, key: str) -> bool:
+        try:
+            self.path_for(key, "cohorts").unlink()
+            return True
+        except OSError:
+            return False
+
+    def get_cssg(self, key: str) -> Optional[Dict]:
+        """A serialized CSSG by structural fingerprint, or ``None``."""
+        return self._read(key, "cssg")
+
+    def put_cssg(self, key: str, payload: Dict) -> Path:
+        return self._write(key, payload, "cssg")
+
+    # -- enumeration and maintenance -----------------------------------
+
     def iter_keys(self) -> Iterator[str]:
         if not self._results.exists():
             return
         for path in sorted(self._results.glob("*/*.json")):
             yield path.stem
 
-    def entries(self) -> List[Tuple[str, Path, int, float]]:
-        """Every entry as ``(key, path, size_bytes, mtime)``, oldest
-        first — the order :meth:`prune` evicts in."""
+    def class_entries(
+        self, entry_class: str
+    ) -> List[Tuple[str, Path, int, float]]:
+        """One class's entries as ``(key, path, size_bytes, mtime)``,
+        oldest first — the order :meth:`prune` evicts in."""
         out: List[Tuple[str, Path, int, float]] = []
-        if not self._results.exists():
+        base = self._class_dir(entry_class)
+        if not base.exists():
             return out
-        for path in self._results.glob("*/*.json"):
+        for path in base.glob("*/*.json"):
             try:
                 st = path.stat()
             except OSError:
@@ -160,22 +294,60 @@ class ResultStore:
         out.sort(key=lambda e: (e[3], e[0]))
         return out
 
+    def entries(self) -> List[Tuple[str, Path, int, float]]:
+        """The whole-job result entries (see :meth:`class_entries`)."""
+        return self.class_entries("results")
+
+    def _doomed(
+        self,
+        max_age_seconds: Optional[float],
+        max_total_bytes: Optional[int],
+        now: float,
+    ) -> List[Tuple[str, str, Path, int]]:
+        """The ``(class, key, path, size)`` list :meth:`prune` would
+        evict: age rule first, then oldest-first across every class
+        until the remainder fits the size bound."""
+        doomed: List[Tuple[str, str, Path, int]] = []
+        keep: List[Tuple[float, str, str, Path, int]] = []
+        for entry_class in ENTRY_CLASSES:
+            for key, path, size, mtime in self.class_entries(entry_class):
+                if (
+                    max_age_seconds is not None
+                    and now - mtime > max_age_seconds
+                ):
+                    doomed.append((entry_class, key, path, size))
+                else:
+                    keep.append((mtime, entry_class, key, path, size))
+        if max_total_bytes is not None:
+            keep.sort(key=lambda e: (e[0], e[2]))
+            total = sum(size for _, _, _, _, size in keep)
+            for _mtime, entry_class, key, path, size in keep:
+                if total <= max_total_bytes:
+                    break
+                doomed.append((entry_class, key, path, size))
+                total -= size
+        return doomed
+
     def prune(
         self,
         max_age_seconds: Optional[float] = None,
         max_total_bytes: Optional[int] = None,
         now: Optional[float] = None,
     ) -> Tuple[int, int]:
-        """Evict entries older than ``max_age_seconds``, then — oldest
-        first — until the store fits ``max_total_bytes``.  Also reaps
-        orphaned ``.tmp`` files abandoned by crashed writers.  Returns
+        """Evict entries (all classes) older than ``max_age_seconds``,
+        then — oldest first across classes — until the store fits
+        ``max_total_bytes``.  Also reaps orphaned ``.tmp`` files
+        abandoned by crashed writers.  Returns
         ``(n_removed, bytes_freed)``.
         """
         now = time.time() if now is None else now
         n_removed = 0
         bytes_freed = 0
-        if self._results.exists():
-            for tmp in self._results.glob("*/.*.tmp"):
+        for entry_class in ENTRY_CLASSES:
+            base = self._class_dir(entry_class)
+            if not base.exists():
+                continue
+            for tmp in base.glob("*/.*.tmp"):
                 try:
                     st = tmp.stat()
                     if now - st.st_mtime > 3600:  # not an in-flight write
@@ -184,65 +356,96 @@ class ResultStore:
                         bytes_freed += st.st_size
                 except OSError:
                     continue
-        entries = self.entries()
-        keep: List[Tuple[str, Path, int, float]] = []
-        for key, path, size, mtime in entries:
-            if max_age_seconds is not None and now - mtime > max_age_seconds:
-                if self.delete(key):
-                    n_removed += 1
-                    bytes_freed += size
-            else:
-                keep.append((key, path, size, mtime))
-        if max_total_bytes is not None:
-            total = sum(size for _, _, size, _ in keep)
-            for key, _path, size, _mtime in keep:  # oldest first
-                if total <= max_total_bytes:
-                    break
-                if self.delete(key):
-                    n_removed += 1
-                    bytes_freed += size
-                    total -= size
+        for _entry_class, _key, path, size in self._doomed(
+            max_age_seconds, max_total_bytes, now
+        ):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            n_removed += 1
+            bytes_freed += size
         return n_removed, bytes_freed
+
+    def prune_plan(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_total_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, Dict[str, int]]:
+        """What :meth:`prune` *would* reclaim, per entry class — the
+        ``repro-cache prune --dry-run`` report.  Returns
+        ``{class: {"n_entries": n, "bytes": b}}`` plus a ``"total"``
+        row; nothing is deleted."""
+        now = time.time() if now is None else now
+        plan = {
+            entry_class: {"n_entries": 0, "bytes": 0}
+            for entry_class in ENTRY_CLASSES
+        }
+        for entry_class, _key, _path, size in self._doomed(
+            max_age_seconds, max_total_bytes, now
+        ):
+            plan[entry_class]["n_entries"] += 1
+            plan[entry_class]["bytes"] += size
+        plan["total"] = {
+            "n_entries": sum(p["n_entries"] for p in plan.values()),
+            "bytes": sum(p["bytes"] for p in plan.values()),
+        }
+        return plan
 
     def stats(self) -> Dict:
         """Store shape + lifetime hit statistics (from ``stats.log``
-        when this store tracks them)."""
-        entries = self.entries()
+        when this store tracks them).
+
+        Top-level ``n_entries`` / ``total_bytes`` / ``lookups`` keep
+        their historical whole-job-results meaning; the ``classes``
+        block breaks shape and lookups down per entry class.
+        """
+        per_class: Dict[str, Dict] = {}
+        for entry_class in ENTRY_CLASSES:
+            entries = self.class_entries(entry_class)
+            per_class[entry_class] = {
+                "n_entries": len(entries),
+                "total_bytes": sum(size for _, _, size, _ in entries),
+                "oldest_mtime": entries[0][3] if entries else None,
+                "newest_mtime": entries[-1][3] if entries else None,
+            }
+        results = per_class["results"]
         doc: Dict = {
             "root": str(self.root),
-            "n_entries": len(entries),
-            "total_bytes": sum(size for _, _, size, _ in entries),
-            "oldest_mtime": entries[0][3] if entries else None,
-            "newest_mtime": entries[-1][3] if entries else None,
+            "n_entries": results["n_entries"],
+            "total_bytes": results["total_bytes"],
+            "oldest_mtime": results["oldest_mtime"],
+            "newest_mtime": results["newest_mtime"],
         }
-        hits = misses = 0
         log = self._stats_log or (self.root / "stats.log")
-        try:
-            with open(log, "r", encoding="ascii") as handle:
-                for line in handle:
-                    if line.startswith("hit "):
-                        hits += 1
-                    elif line.startswith("miss "):
-                        misses += 1
-        except OSError:
-            pass
-        doc["lookups"] = {
-            "hits": hits,
-            "misses": misses,
-            "hit_rate": round(hits / (hits + misses), 4)
-            if hits + misses
-            else None,
-        }
+        counts = self._read_lookup_counts(log)
+        for entry_class in ENTRY_CLASSES:
+            hits, misses = counts[entry_class]
+            per_class[entry_class]["lookups"] = {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": round(hits / (hits + misses), 4)
+                if hits + misses
+                else None,
+            }
+        doc["lookups"] = dict(per_class["results"]["lookups"])
+        doc["classes"] = per_class
         return doc
 
     def __len__(self) -> int:
         return sum(1 for _ in self.iter_keys())
 
     def clear(self) -> int:
-        """Remove every entry; returns how many were deleted."""
+        """Remove every entry in every class; returns how many."""
         n = 0
-        for key in list(self.iter_keys()):
-            n += self.delete(key)
+        for entry_class in ENTRY_CLASSES:
+            for _key, path, _size, _mtime in self.class_entries(entry_class):
+                try:
+                    path.unlink()
+                    n += 1
+                except OSError:
+                    continue
         return n
 
     def __repr__(self):

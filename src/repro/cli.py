@@ -413,6 +413,16 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         help="ignore cached results but still store fresh ones",
     )
     parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help=(
+            "resolve cache misses through the per-cohort incremental "
+            "layer: fault cohorts whose cones of influence are unchanged "
+            "replay from cached partials, only stale ones re-run "
+            "(needs the cache; see docs/incremental.md)"
+        ),
+    )
+    parser.add_argument(
         "--out", default=None, help="write table.txt / campaign.csv / campaign.json here"
     )
     parser.add_argument(
@@ -495,6 +505,13 @@ def campaign_main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
+    if args.incremental and args.no_cache:
+        print(
+            "error: --incremental needs the cache; "
+            "drop --no-cache or --incremental",
+            file=sys.stderr,
+        )
+        return 2
     store = None if args.no_cache else ResultStore(args.cache_dir)
 
     def progress(outcome, done, total):
@@ -532,6 +549,7 @@ def campaign_main(argv=None) -> int:
             hang_timeout=args.hang_timeout,
             collect_telemetry=collect_telemetry,
             dashboard=dashboard,
+            incremental=args.incremental,
         )
     finally:
         if dashboard is not None:
@@ -551,6 +569,16 @@ def campaign_main(argv=None) -> int:
     else:
         print(format_table(rows_from_outcomes(report.outcomes), title=title))
     print(report.summary(), file=sys.stderr)
+    if args.incremental:
+        inc = [o.incremental for o in report.outcomes if o.incremental]
+        if inc:
+            print(
+                "incremental: "
+                f"{sum(d.get('cohorts_reused', 0) for d in inc)} cohorts "
+                f"reused, {sum(d.get('cohorts_executed', 0) for d in inc)} "
+                f"executed of {sum(d.get('cohorts_total', 0) for d in inc)}",
+                file=sys.stderr,
+            )
     for outcome in report.outcomes:
         if not outcome.ok:
             print(
@@ -630,6 +658,19 @@ def cache_main(argv=None) -> int:
                 f"{lookups['misses']} misses"
                 + (f" ({rate:.1%} hit rate)" if rate is not None else "")
             )
+            for entry_class, shape in doc["classes"].items():
+                counts = shape["lookups"]
+                class_rate = counts["hit_rate"]
+                print(
+                    f"  {entry_class:<8} {shape['n_entries']:>6} entries  "
+                    f"{shape['total_bytes']:>10} B  "
+                    f"{counts['hits']} hits / {counts['misses']} misses"
+                    + (
+                        f" ({class_rate:.1%})"
+                        if class_rate is not None
+                        else ""
+                    )
+                )
         return 0
 
     if args.command == "clear":
@@ -654,25 +695,28 @@ def cache_main(argv=None) -> int:
         else None
     )
     if args.dry_run:
-        import time as _time
-
-        now = _time.time()
-        entries = store.entries()
-        doomed = [
-            (key, size)
-            for key, _path, size, mtime in entries
-            if max_age is not None and now - mtime > max_age
-        ]
-        if max_bytes is not None:
-            kept = [e for e in entries if e[0] not in {k for k, _ in doomed}]
-            total = sum(size for _, _, size, _ in kept)
-            for key, _path, size, _mtime in kept:
-                if total <= max_bytes:
-                    break
-                doomed.append((key, size))
-                total -= size
-        n, freed = len(doomed), sum(size for _, size in doomed)
-        print(f"would remove {n} entries, freeing {freed} bytes")
+        plan = store.prune_plan(
+            max_age_seconds=max_age, max_total_bytes=max_bytes
+        )
+        if args.json:
+            print(json.dumps(plan, indent=2))
+            return 0
+        for entry_class in ("results", "cohorts", "cssg"):
+            row = plan[entry_class]
+            label = (
+                "full results" if entry_class == "results" else
+                "cohort partials" if entry_class == "cohorts" else
+                "cssg graphs"
+            )
+            print(
+                f"  {label:<16} {row['n_entries']:>6} entries, "
+                f"{row['bytes']} bytes"
+            )
+        total = plan["total"]
+        print(
+            f"would remove {total['n_entries']} entries, "
+            f"freeing {total['bytes']} bytes"
+        )
         return 0
     n, freed = store.prune(max_age_seconds=max_age, max_total_bytes=max_bytes)
     print(f"removed {n} entries, freed {freed} bytes")

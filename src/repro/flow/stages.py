@@ -20,7 +20,8 @@ partial result.
 
 from __future__ import annotations
 
-from typing import List, Protocol, Sequence, runtime_checkable
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.circuit.faults import Fault
 from repro.core.random_tpg import random_tpg
@@ -43,6 +44,10 @@ __all__ = [
     "RandomTpgStage",
     "ThreePhaseStage",
     "CompactionStage",
+    "ReplayPlan",
+    "ReplayStage",
+    "ReplayTest",
+    "ReplayedStatus",
     "fault_simulate",
 ]
 
@@ -86,6 +91,81 @@ class CollapseStage:
         }
 
 
+@dataclass(frozen=True)
+class ReplayTest:
+    """One cached test to re-inject: its pattern sequence plus the
+    faults it detected, as ``(position-in-original-test, fault)`` pairs
+    sorted by position (positions keep member order stable when several
+    cohorts contribute slices of the same original test)."""
+
+    patterns: Tuple[int, ...]
+    source: str
+    members: Tuple[Tuple[int, Fault], ...]
+
+
+@dataclass(frozen=True)
+class ReplayedStatus:
+    """One cached fault verdict; ``test_ref`` indexes
+    :attr:`ReplayPlan.tests` (not a final test index — the stage remaps
+    through whatever indices :meth:`RunContext.add_test` assigns)."""
+
+    fault: Fault
+    status: str
+    phase: str
+    reason: str
+    test_ref: Optional[int]
+
+
+@dataclass(frozen=True)
+class ReplayPlan:
+    """Everything a previous run already decided that this run keeps."""
+
+    tests: Tuple[ReplayTest, ...] = ()
+    statuses: Tuple[ReplayedStatus, ...] = ()
+
+
+class ReplayStage:
+    """Re-inject cached classifications ahead of the generating stages.
+
+    The incremental runner (:mod:`repro.campaign.cohort`) replays the
+    verdicts and tests of fault cohorts whose cones of influence are
+    untouched by an edit; the downstream stages then see only the stale
+    faults in :meth:`RunContext.remaining` and generate for those.  With
+    an empty plan the stage is disabled and the flow is byte-identical
+    to a monolithic run.
+    """
+
+    name = "replay"
+
+    def __init__(self, plan: ReplayPlan):
+        self.plan = plan
+
+    def enabled(self, ctx: RunContext) -> bool:
+        return bool(self.plan.tests or self.plan.statuses)
+
+    def run(self, ctx: RunContext) -> None:
+        index_of: List[int] = []
+        for replay in self.plan.tests:
+            test = Test(
+                tuple(replay.patterns),
+                [fault for _, fault in replay.members],
+                source=replay.source,
+            )
+            index_of.append(ctx.add_test(test))
+        for verdict in self.plan.statuses:
+            ctx.classify(
+                verdict.fault,
+                verdict.status,
+                verdict.phase,
+                None if verdict.test_ref is None else index_of[verdict.test_ref],
+                verdict.reason,
+            )
+        ctx.stage_stats[self.name] = {
+            "n_tests": len(self.plan.tests),
+            "n_faults": len(self.plan.statuses),
+        }
+
+
 class RandomTpgStage:
     """Random walks on the CSSG with parallel fault simulation (§5.4)."""
 
@@ -106,7 +186,7 @@ class RandomTpgStage:
 
         detected_by, random_tests = random_tpg(
             ctx.cssg,
-            ctx.work_list,
+            ctx.remaining(),
             n_walks=opts.random_walks,
             walk_len=opts.walk_len,
             rng=ctx.rng,

@@ -42,7 +42,10 @@ from repro.campaign.runner import (
     _police_workers,
     _Pool,
     execute_job,
+    execute_job_incremental,
+    note_incremental_stats,
 )
+from repro.campaign.store import ResultStore
 
 __all__ = ["InlineExecutor", "ForkedExecutor"]
 
@@ -65,7 +68,12 @@ def _clean_payload(result) -> Dict:
 
 
 class InlineExecutor:
-    """Run jobs on ``n_threads`` daemon threads in-process."""
+    """Run jobs on ``n_threads`` daemon threads in-process.
+
+    With ``incremental`` (and a ``store``), jobs resolve through
+    :func:`~repro.campaign.runner.execute_job_incremental`; the cohort
+    accounting folds straight into the server's ambient registry (no
+    process boundary, so no snapshot round trip)."""
 
     def __init__(
         self,
@@ -73,10 +81,13 @@ class InlineExecutor:
         on_start: OnStart,
         on_event: OnEvent,
         on_done: OnDone,
+        store: Optional[ResultStore] = None,
+        incremental: bool = False,
     ):
         self.on_start = on_start
         self.on_event = on_event
         self.on_done = on_done
+        self.store = store if incremental else None
         self._tasks: "queue_mod.Queue[Optional[Job]]" = queue_mod.Queue()
         self._threads = [
             threading.Thread(target=self._worker, daemon=True, name=f"serve-inline-{i}")
@@ -95,19 +106,28 @@ class InlineExecutor:
                 return
             self.on_start(job.key)
             t0 = time.perf_counter()
+            listeners = (
+                lambda ev, key=job.key: self.on_event(key, ev.to_json_dict()),
+            )
             try:
-                result = execute_job(
-                    job,
-                    listeners=(
-                        lambda ev, key=job.key: self.on_event(
-                            key, ev.to_json_dict()
-                        ),
-                    ),
-                )
-                self.on_done(
-                    job.key, "done", _clean_payload(result), "",
-                    time.perf_counter() - t0,
-                )
+                if self.store is not None:
+                    payload, _live, inc = execute_job_incremental(
+                        job, self.store, listeners=listeners
+                    )
+                    note_incremental_stats(inc)
+                    payload = {
+                        k: v for k, v in payload.items() if k != "telemetry"
+                    }
+                    self.on_done(
+                        job.key, "done", payload, "",
+                        time.perf_counter() - t0,
+                    )
+                else:
+                    result = execute_job(job, listeners=listeners)
+                    self.on_done(
+                        job.key, "done", _clean_payload(result), "",
+                        time.perf_counter() - t0,
+                    )
             except Exception as exc:
                 self.on_done(
                     job.key, "failed", None, f"{type(exc).__name__}: {exc}",
@@ -133,12 +153,16 @@ class ForkedExecutor:
         on_done: OnDone,
         timeout: float = 600.0,
         hang_timeout: Optional[float] = None,
+        incremental: bool = False,
+        cache_root: Optional[str] = None,
     ):
         self.on_start = on_start
         self.on_event = on_event
         self.on_done = on_done
         self._pool = _Pool(
-            [], workers, timeout, hang_timeout, relay_events=True
+            [], workers, timeout, hang_timeout, relay_events=True,
+            incremental=incremental and cache_root is not None,
+            cache_root=cache_root,
         )
         self._incoming: "queue_mod.Queue[Job]" = queue_mod.Queue()
         self._unresolved: set = set()
@@ -228,8 +252,13 @@ class ForkedExecutor:
             if key in self._unresolved:
                 job = pool.job_of[key]
                 if kind == "done":
+                    inc = event[5] if len(event) > 5 else None
+                    note_incremental_stats(inc)
                     self._resolve(
-                        JobOutcome(job, "ran", payload=event[4], seconds=seconds)
+                        JobOutcome(
+                            job, "ran", payload=event[4], seconds=seconds,
+                            incremental=inc,
+                        )
                     )
                 else:
                     self._resolve(

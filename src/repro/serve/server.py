@@ -74,10 +74,14 @@ class ReproServer:
         port: int = 0,
         job_timeout: float = 600.0,
         hang_timeout: Optional[float] = None,
+        incremental: bool = False,
     ):
         self.state_dir = Path(state_dir)
         self.store = store
         self.workers = workers
+        #: resolve cache misses through the per-cohort incremental
+        #: layer (requires a store; see docs/incremental.md).
+        self.incremental = incremental and store is not None
         self.qos = qos if qos is not None else QosPolicy()
         self.host = host
         self.port = port
@@ -112,7 +116,8 @@ class ReproServer:
             _obs.enable(_obs.MetricsRegistry())
         if self.workers == 0:
             self._executor = InlineExecutor(
-                1, self._cb_start, self._cb_event, self._cb_done
+                1, self._cb_start, self._cb_event, self._cb_done,
+                store=self.store, incremental=self.incremental,
             )
         else:
             self._executor = ForkedExecutor(
@@ -122,6 +127,10 @@ class ReproServer:
                 self._cb_done,
                 timeout=self.job_timeout,
                 hang_timeout=self.hang_timeout,
+                incremental=self.incremental,
+                cache_root=(
+                    str(self.store.root) if self.store is not None else None
+                ),
             )
         self._restore_queue()
         self._server = await asyncio.start_server(
@@ -455,10 +464,41 @@ class ReproServer:
     async def _handle_metrics(self, request: Request) -> Response:
         if not _obs.enabled():
             raise HttpError(503, "metrics registry is not armed")
+        self._scrape_store_stats()
         return Response(
             to_prometheus_text(_obs.get_registry()),
             content_type="text/plain; version=0.0.4; charset=utf-8",
         )
+
+    def _scrape_store_stats(self) -> None:
+        """Refresh the store-lifetime cache gauges from ``stats.log`` at
+        scrape time.  Gauges, not counters: the log outlives this
+        process (and is shared with CLI campaigns), so the exposition
+        mirrors the store's cumulative ledger instead of re-counting."""
+        if self.store is None or not _obs.enabled():
+            return
+        try:
+            stats = self.store.stats()
+        except OSError:
+            return
+        reg = _obs.get_registry()
+        lookups = reg.gauge(
+            "repro_cache_lookups",
+            "Store-lifetime cache lookups from stats.log, by entry "
+            "class and outcome.",
+            ("entry_class", "outcome"),
+        )
+        ratio = reg.gauge(
+            "repro_cache_hit_ratio",
+            "Store-lifetime cache hit ratio per entry class "
+            "(absent lookups read as 0).",
+            ("entry_class",),
+        )
+        for entry_class, shape in stats["classes"].items():
+            counts = shape["lookups"]
+            lookups.labels(entry_class, "hit").set(counts["hits"])
+            lookups.labels(entry_class, "miss").set(counts["misses"])
+            ratio.labels(entry_class).set(counts["hit_rate"] or 0.0)
 
     async def _handle_submit(self, request: Request) -> Response:
         if self._draining:
@@ -597,6 +637,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="serve without the shared warm cache",
     )
     parser.add_argument(
+        "--incremental", action="store_true",
+        help=(
+            "resolve cache misses through the per-cohort incremental "
+            "layer: unchanged fault cohorts replay from cached partials "
+            "and only stale ones re-run (needs the cache; "
+            "see docs/incremental.md)"
+        ),
+    )
+    parser.add_argument(
         "--max-queue", type=int, default=64,
         help="active-job ceiling before submissions get 429",
     )
@@ -635,6 +684,13 @@ async def _amain(args) -> int:
         if args.state_dir is not None
         else default_cache_dir() / "serve"
     )
+    if args.incremental and args.no_cache:
+        print(
+            "repro-serve: --incremental needs the cache; "
+            "drop --no-cache or --incremental",
+            file=sys.stderr,
+        )
+        return 2
     store = None if args.no_cache else ResultStore(
         args.cache_dir, track_stats=True
     )
@@ -652,6 +708,7 @@ async def _amain(args) -> int:
         port=args.port,
         job_timeout=args.timeout,
         hang_timeout=args.hang_timeout,
+        incremental=args.incremental,
     )
     host, port = await server.start()
     print(f"repro-serve listening on http://{host}:{port}", flush=True)

@@ -1,0 +1,320 @@
+"""Incremental re-ATPG: cohort keying, invalidation, merge identity.
+
+The heart of the suite is golden-digest identity (like
+``test_faultmodels_diff.py``): on every Table-1 benchmark and both
+stuck-at models, a cold incremental run and a warm pure-merge rerun
+must produce payloads byte-identical (modulo ``cpu_seconds`` /
+``schema_version``) to the recorded from-scratch behaviour.  Around
+that, targeted invalidation tests pin the cohort-key contract: a
+renamed signal or widened cone invalidates exactly the cohorts whose
+cones see it, an option or fault-model change invalidates everything,
+and an out-of-cone edit leaves keys untouched.
+"""
+
+import hashlib
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.benchmarks_data import TABLE1_NAMES
+from repro.campaign.cohort import (
+    COHORT_SCHEMA_VERSION,
+    cohort_salt,
+    cssg_fingerprint,
+    partition,
+    validate_partial,
+)
+from repro.campaign.plan import CampaignSpec, cohort_plan, expand
+from repro.campaign.runner import execute_job_incremental
+from repro.campaign.store import ResultStore
+from repro.circuit.faults import fault_universe
+from repro.circuit.parser import parse_netlist
+from repro.core.atpg import AtpgOptions
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent / "data" / "golden_stuckat_digests.json"
+)
+
+#: Two independent buffer chains: a -> u -> v and b -> w -> x.  Faults
+#: in one chain have cones disjoint from the other, so chain-local
+#: edits must leave the other chain's cohort keys untouched.
+PAIR_NET = """
+.model pair
+.inputs a b
+.gate u BUF a
+.gate v BUF u
+.gate w BUF b
+.gate x BUF w
+.outputs v x
+.reset a=0 b=0 u=0 v=0 w=0 x=0
+.k 8
+"""
+
+
+def payload_digest(payload) -> str:
+    doc = {
+        k: v
+        for k, v in payload.items()
+        if k not in ("cpu_seconds", "schema_version", "telemetry")
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def keys_by_site(net_text, options=None):
+    """Map ``frozenset(signal names of the cone)`` -> cohort key, which
+    is stable across renames/index shifts for *unchanged* cones."""
+    circuit = parse_netlist(net_text)
+    options = options or AtpgOptions()
+    salt = cohort_salt(circuit, "complex", options)
+    universe = fault_universe(circuit, options.fault_model)
+    out = {}
+    for cohort in partition(circuit, universe, salt):
+        names = frozenset(circuit.signal_name(i) for i in cohort.cone)
+        out[names] = cohort.key
+    return out
+
+
+# -- invalidation contract ---------------------------------------------
+
+
+def test_rename_signal_invalidates_only_cones_that_see_it():
+    renamed = (
+        PAIR_NET.replace("w BUF b", "ww BUF b")
+        .replace("x BUF w", "x BUF ww")
+        .replace("w=0", "ww=0")
+    )
+    base, edit = keys_by_site(PAIR_NET), keys_by_site(renamed)
+    # a-chain cones never contain w: identical keys survive the rename.
+    survivors = {c for c in base if base[c] == edit.get(c)}
+    assert survivors == {c for c in base if "w" not in c}
+    assert survivors  # the a-chain really is unaffected
+    # every cone that saw w got a new key (under its renamed cone set)
+    assert all("w" not in c for c in edit if edit[c] in base.values())
+
+
+def test_added_fanout_widens_cone_and_invalidates():
+    widened = PAIR_NET.replace(
+        ".outputs v x", ".gate y BUF u\n.outputs v x y"
+    ).replace(".reset a=0", ".reset y=0 a=0")
+    base, edit = keys_by_site(PAIR_NET), keys_by_site(widened)
+    # cones containing u now also contain the new reader y -> new keys
+    for cone, key in base.items():
+        if "u" in cone:
+            assert cone not in edit  # the cone set itself grew
+            assert key not in edit.values()
+    # the b-chain is untouched: same cones, same keys (the .outputs
+    # interface change lands in the salt, so check cone sets only)
+    for cone in base:
+        if "u" not in cone:
+            assert cone in edit
+
+
+def test_out_of_cone_edit_keeps_cohort_keys():
+    # upstream-only edit: swap the b-chain's head gate type; the
+    # a-chain's cones and gate rows are untouched.
+    edited = PAIR_NET.replace("w BUF b", "w NOT b").replace("b=0 u=0 v=0 w=0", "b=0 u=0 v=0 w=1")
+    base, edit = keys_by_site(PAIR_NET), keys_by_site(edited)
+    for cone, key in base.items():
+        if "w" not in cone:
+            assert edit[cone] == key
+        else:
+            assert edit[cone] != key
+
+
+def test_option_change_invalidates_globally():
+    base = keys_by_site(PAIR_NET)
+    tweaked = keys_by_site(PAIR_NET, AtpgOptions(random_walks=7))
+    assert set(base) == set(tweaked)  # same cones...
+    assert all(base[c] != tweaked[c] for c in base)  # ...all new keys
+
+
+def test_fault_model_change_invalidates_globally():
+    base = keys_by_site(PAIR_NET, AtpgOptions(fault_model="input"))
+    other = keys_by_site(PAIR_NET, AtpgOptions(fault_model="output"))
+    assert not set(base.values()) & set(other.values())
+
+
+def test_cssg_fingerprint_rename_invariant_logic_sensitive():
+    circuit = parse_netlist(PAIR_NET)
+    renamed = parse_netlist(
+        PAIR_NET.replace("w BUF b", "ww BUF b")
+        .replace("x BUF w", "x BUF ww")
+        .replace("w=0", "ww=0")
+    )
+    relogic = parse_netlist(
+        PAIR_NET.replace("w BUF b", "w NOT b").replace(
+            "b=0 u=0 v=0 w=0", "b=0 u=0 v=0 w=1"
+        )
+    )
+    fp = lambda c: cssg_fingerprint(c, None, None, "exact")
+    assert fp(renamed) == fp(circuit)
+    assert fp(relogic) != fp(circuit)
+
+
+def test_validate_partial_rejects_wrong_faults_and_schema():
+    circuit = parse_netlist(PAIR_NET)
+    options = AtpgOptions()
+    salt = cohort_salt(circuit, "complex", options)
+    cohorts = partition(
+        circuit, fault_universe(circuit, options.fault_model), salt
+    )
+    a, b = cohorts[0], cohorts[1]
+    doc = {
+        "version": COHORT_SCHEMA_VERSION,
+        "faults": [
+            [f.kind, circuit.signal_name(f.gate), circuit.signal_name(f.site), f.value]
+            for f in a.faults
+        ],
+        "statuses": [{} for _ in a.faults],
+        "tests": [],
+    }
+    assert validate_partial(circuit, a, doc)
+    assert not validate_partial(circuit, b, doc)  # wrong fault list
+    assert not validate_partial(
+        circuit, a, {**doc, "version": COHORT_SCHEMA_VERSION + 1}
+    )
+    assert not validate_partial(circuit, a, None)
+
+
+def test_cohort_plan_partitions_the_universe_exactly():
+    job = expand(CampaignSpec(benchmarks=["dff"], fault_models=("input",)))[0]
+    cohorts = cohort_plan(job)
+    from repro.campaign.runner import load_job_circuit
+
+    circuit = load_job_circuit(job)
+    universe = fault_universe(circuit, "input")
+    seen = [f for c in cohorts for f in c.faults]
+    assert sorted(map(repr, seen)) == sorted(map(repr, universe))
+    assert len(seen) == len(universe)
+    assert len({c.key for c in cohorts}) == len(cohorts)
+
+
+# -- execution paths ---------------------------------------------------
+
+
+def test_single_gate_edit_reruns_only_affected_cohorts(tmp_path):
+    net = tmp_path / "pair.net"
+    net.write_text(PAIR_NET)
+    store = ResultStore(tmp_path / "cache")
+    spec = lambda: CampaignSpec(
+        benchmarks=[str(net)], fault_models=("input",)
+    )
+    job = expand(spec())[0]
+    _payload, _live, cold = execute_job_incremental(job, store)
+    assert cold.cohorts_executed == cold.cohorts_total > 1
+
+    # b-chain logic edit: only cones containing w or x go stale
+    net.write_text(
+        PAIR_NET.replace("x BUF w", "x NOT w").replace("x=0", "x=1")
+    )
+    edited = expand(spec())[0]
+    assert edited.key != job.key
+    payload, _live, warm = execute_job_incremental(edited, store)
+    assert warm.cohorts_total == cold.cohorts_total
+    assert 0 < warm.cohorts_reused < warm.cohorts_total
+    assert warm.cohorts_executed == warm.cohorts_total - warm.cohorts_reused
+    assert payload["n_covered"] == payload["n_total"]
+
+    # rerun on the edited circuit: pure merge, identical payload
+    again, live, merge = execute_job_incremental(edited, store)
+    assert live is None and merge.cohorts_executed == 0
+    assert payload_digest(again) == payload_digest(payload)
+
+
+def test_deadline_bounded_jobs_bypass_the_incremental_layer(tmp_path):
+    store = ResultStore(tmp_path)
+    job = expand(
+        CampaignSpec(
+            benchmarks=["dff"],
+            fault_models=("input",),
+            options=AtpgOptions(deadline_seconds=60.0),
+        )
+    )[0]
+    payload, live, stats = execute_job_incremental(job, store)
+    assert stats is None and live is not None
+    assert payload["n_total"] > 0
+    assert not store.class_entries("cohorts")  # nothing was cached
+
+
+def test_refresh_reexecutes_but_repopulates(tmp_path):
+    store = ResultStore(tmp_path)
+    job = expand(CampaignSpec(benchmarks=["dff"], fault_models=("input",)))[0]
+    execute_job_incremental(job, store)
+    payload, live, stats = execute_job_incremental(job, store, refresh=True)
+    assert stats.cohorts_reused == 0 and live is not None
+    merged, live2, stats2 = execute_job_incremental(job, store)
+    assert live2 is None and stats2.cohorts_reused == stats2.cohorts_total
+    assert payload_digest(merged) == payload_digest(payload)
+
+
+# -- golden identity on the paper's full benchmark set -----------------
+
+
+@pytest.mark.parametrize("name", TABLE1_NAMES)
+def test_incremental_matches_golden_digests(name, tmp_path):
+    """Cold incremental run and warm cohort merge are both
+    payload-identical to the recorded from-scratch behaviour."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    store = ResultStore(tmp_path)
+    cssg_memo = {}
+    for model in ("output", "input"):
+        job = expand(
+            CampaignSpec(benchmarks=[name], fault_models=(model,))
+        )[0]
+        cold, _live, stats = execute_job_incremental(job, store, cssg_memo)
+        assert stats.cohorts_executed == stats.cohorts_total
+        assert payload_digest(cold) == golden[f"{name}/{model}"], (
+            f"{name}/{model}: cold incremental payload drifted from the "
+            "from-scratch golden"
+        )
+        warm, live, merge = execute_job_incremental(job, store, cssg_memo)
+        assert live is None and merge.cohorts_reused == merge.cohorts_total
+        assert payload_digest(warm) == golden[f"{name}/{model}"], (
+            f"{name}/{model}: merged cohort partials drifted from the "
+            "from-scratch golden"
+        )
+
+
+# -- store satellites --------------------------------------------------
+
+
+def test_stats_log_rotation_preserves_counts(tmp_path, monkeypatch):
+    import repro.campaign.store as store_mod
+
+    monkeypatch.setattr(store_mod, "STATS_LOG_MAX_BYTES", 2048)
+    store = ResultStore(tmp_path, track_stats=True)
+    store.put("a" * 64, {"x": 1})
+    for i in range(200):
+        store.get("a" * 64)
+        store.get("b" * 64)
+        store.get_cohort("c" * 64)
+    log = tmp_path / "stats.log"
+    assert log.stat().st_size < 4 * 2048  # capped, not unbounded
+    stats = store.stats()
+    assert stats["lookups"]["hits"] == 200
+    assert stats["lookups"]["misses"] == 200
+    assert stats["classes"]["cohorts"]["lookups"]["misses"] == 200
+    assert stats["lookups"]["hit_rate"] == 0.5
+
+
+def test_prune_plan_reports_reclaimable_bytes_per_class(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put("a" * 64, {"kind": "result"})
+    store.put("b" * 64, {"kind": "result"})
+    store.put_cohort("c" * 64, {"kind": "partial"})
+    store.put_cssg("d" * 64, {"kind": "graph"})
+    plan = store.prune_plan(max_age_seconds=0.0, now=time.time() + 60)
+    assert plan["results"]["n_entries"] == 2
+    assert plan["cohorts"]["n_entries"] == 1
+    assert plan["cssg"]["n_entries"] == 1
+    assert plan["total"]["n_entries"] == 4
+    assert plan["total"]["bytes"] == sum(
+        plan[c]["bytes"] for c in ("results", "cohorts", "cssg")
+    )
+    # dry: nothing was deleted
+    assert len(store.class_entries("results")) == 2
+    empty = store.prune_plan(max_age_seconds=3600.0)
+    assert empty["total"]["n_entries"] == 0
