@@ -33,6 +33,7 @@ setup(
             "repro-campaign = repro.cli:campaign_main",
             "repro-serve = repro.serve.server:serve_main",
             "repro-cache = repro.cli:cache_main",
+            "repro-fuzz = repro.cli:fuzz_main",
         ],
     },
 )

@@ -164,6 +164,13 @@ def execute_job(
     harness did).  ``listeners`` subscribe to the job's flow event
     stream — the worker loop wires a :class:`~repro.flow.Heartbeat`
     here."""
+    if job.source_kind == "fuzz":
+        # Scenario-fuzzing chunks (repro-fuzz) ride the same workers,
+        # heartbeats and store; their execution lives with the fuzz
+        # subsystem.  cssg_memo is meaningless across fuzzed circuits.
+        from repro.fuzz.campaign import execute_fuzz_job
+
+        return execute_fuzz_job(job, listeners=listeners)
     circuit = load_job_circuit(job)
     opts = job.options
     cssg = None
@@ -286,7 +293,13 @@ def execute_job_incremental(
     of approximate incremental reruns.
     """
     opts = job.options
-    if store is None or opts.deadline_seconds is not None:
+    if (
+        store is None
+        or opts.deadline_seconds is not None
+        or job.source_kind == "fuzz"
+    ):
+        # Fuzz chunks have no fault cohorts to reuse — the whole-result
+        # cache (keyed on the chunk's content hash) is their only tier.
         result = execute_job(job, cssg_memo, listeners=listeners)
         return result.to_json_dict(), result, None
 

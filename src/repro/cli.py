@@ -1,5 +1,5 @@
-"""Command line interfaces: ``repro-atpg``, ``repro-campaign``, and
-``repro-cache``.
+"""Command line interfaces: ``repro-atpg``, ``repro-campaign``,
+``repro-cache``, and ``repro-fuzz``.
 
 Examples::
 
@@ -27,6 +27,10 @@ Examples::
     repro-cache stats                    # size + lifetime hit rate
     repro-cache prune --max-age-days 30 --max-size-mb 512
     repro-cache clear
+
+    repro-fuzz -n 200                    # 200 seeds through all oracles
+    repro-fuzz --seed 1000 -n 50 --oracles settle,kernels
+    repro-fuzz -n 500 --workers 8 --out out/fuzz   # shrunk-spec artifacts
 
 (The ``repro-serve`` daemon has its own entry point — see
 :mod:`repro.serve.server` and ``docs/serving.md``.)
@@ -586,6 +590,294 @@ def campaign_main(argv=None) -> int:
                 file=sys.stderr,
             )
     return 0 if report.all_ok else 1
+
+
+# ---------------------------------------------------------------------------
+# repro-fuzz
+# ---------------------------------------------------------------------------
+
+
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    from repro.fuzz import oracle_names
+
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description=(
+            "Differential-oracle fuzzing: generate seeded STG/netlist "
+            "scenarios, run each through paired implementations (engine "
+            "vs legacy settle, explicit vs symbolic CSSG, overlay vs "
+            "materialized faults, walk vs slab kernels, plain vs "
+            "incremental re-ATPG) and auto-shrink any divergence to a "
+            "minimal failing spec.  Runs as a campaign: seed chunks are "
+            "jobs on the fork workers with the shared result cache."
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="first scenario seed (default: 0)"
+    )
+    parser.add_argument(
+        "-n",
+        "--scenarios",
+        type=int,
+        default=200,
+        help="number of consecutive seeds to fuzz (default: 200)",
+    )
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=25,
+        help="seeds per campaign job (default: 25)",
+    )
+    parser.add_argument(
+        "--oracles",
+        default=None,
+        help=(
+            "comma list of oracle pairs to run "
+            f"({', '.join(oracle_names())}); default: all"
+        ),
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report divergences without auto-shrinking them",
+    )
+    parser.add_argument(
+        "--max-signals",
+        type=int,
+        default=None,
+        help="ring signals per scenario upper bound (generator axis)",
+    )
+    parser.add_argument(
+        "--max-total-signals",
+        type=int,
+        default=None,
+        help="hard cap on total signals incl. decorations (latency dial)",
+    )
+    parser.add_argument(
+        "--netlist-fraction",
+        type=float,
+        default=None,
+        help="fraction of seeds that generate raw netlists instead of STGs",
+    )
+    parser.add_argument(
+        "--choice-density",
+        type=float,
+        default=None,
+        help="probability of decorating an STG with an input choice",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=float,
+        default=None,
+        help="probability of decorating an STG with a parallel fork",
+    )
+    parser.add_argument(
+        "--mirror-density",
+        type=float,
+        default=None,
+        help="probability of duplicating an input edge as label/1, label/2",
+    )
+    parser.add_argument(
+        "--max-faults",
+        type=int,
+        default=None,
+        help="faults sampled per model in the oracle battery",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (0 = in-process; default: CPU count)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-chunk timeout in seconds (default: 600)",
+    )
+    parser.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=None,
+        help="kill a worker silent (no heartbeat) this long (default: off)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="neither read nor write the cache"
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="ignore cached chunk results but still store fresh ones",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help=(
+            "directory for fuzz_report.json plus one shrunk .g/.net file "
+            "per divergent seed (the nightly-job artifact)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the aggregate report as JSON instead of the summary",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-chunk progress on stderr"
+    )
+    return parser
+
+
+def fuzz_main(argv=None) -> int:
+    from dataclasses import replace
+
+    from repro.campaign import ResultStore, run_campaign
+    from repro.campaign.runner import DEFAULT_JOB_TIMEOUT
+    from repro.fuzz import (
+        FuzzSpec,
+        GeneratorConfig,
+        OracleCaps,
+        aggregate_reports,
+        expand_fuzz,
+        oracle_names,
+    )
+
+    args = build_fuzz_parser().parse_args(argv)
+    oracles: tuple = ()
+    if args.oracles:
+        oracles = tuple(o.strip() for o in args.oracles.split(",") if o.strip())
+        unknown = sorted(set(oracles) - set(oracle_names()))
+        if unknown:
+            print(
+                f"error: unknown --oracles value(s) {', '.join(unknown)} "
+                f"(choose from {', '.join(oracle_names())})",
+                file=sys.stderr,
+            )
+            return 2
+    config = GeneratorConfig()
+    config_fields = {}
+    for flag, field in (
+        ("max_signals", "max_signals"),
+        ("max_total_signals", "max_total_signals"),
+        ("netlist_fraction", "netlist_fraction"),
+        ("choice_density", "choice_density"),
+        ("concurrency", "concurrency"),
+        ("mirror_density", "mirror_density"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            config_fields[field] = value
+    if config_fields:
+        config = replace(config, **config_fields)
+    caps = OracleCaps()
+    if args.max_faults is not None:
+        caps = replace(caps, max_faults=args.max_faults)
+    try:
+        spec = FuzzSpec(
+            start=args.seed,
+            stop=args.seed + args.scenarios,
+            chunk=args.chunk,
+            oracles=oracles,
+            config=config,
+            caps=caps,
+            shrink=not args.no_shrink,
+        )
+        jobs = expand_fuzz(spec)
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+
+    def progress(outcome, done, total):
+        if args.quiet:
+            return
+        line = f"[{done}/{total}] {outcome.job.name}: {outcome.status}"
+        if outcome.executed:
+            line += f" ({outcome.seconds:.2f}s)"
+        if outcome.error:
+            line += f" — {outcome.error}"
+        print(line, file=sys.stderr)
+
+    report = run_campaign(
+        jobs,
+        workers=args.workers,
+        store=store,
+        timeout=args.timeout if args.timeout is not None else DEFAULT_JOB_TIMEOUT,
+        progress=progress,
+        refresh=args.refresh,
+        hang_timeout=args.hang_timeout,
+    )
+    payloads = [o.payload for o in report.outcomes if o.payload is not None]
+    aggregate = aggregate_reports(payloads)
+    if args.out:
+        _write_fuzz_artifacts(args.out, spec, report, aggregate)
+    if args.json:
+        print(json.dumps(aggregate, indent=2))
+    else:
+        checks = ", ".join(
+            f"{oracle}={n}" for oracle, n in aggregate["checks"].items()
+        )
+        print(
+            f"fuzzed {aggregate['n_scenarios']} scenarios "
+            f"(seeds {spec.start}..{spec.stop}), "
+            f"{aggregate['n_divergent']} divergent, "
+            f"{aggregate['n_unproductive']} unproductive"
+        )
+        if checks:
+            print(f"checks: {checks}")
+        for d in aggregate["divergences"]:
+            print(
+                f"DIVERGENCE seed={d['seed']} oracle={d['oracle']}: {d['detail']}"
+            )
+    print(report.summary(), file=sys.stderr)
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            print(
+                f"error: {outcome.job.name}: {outcome.status} {outcome.error}",
+                file=sys.stderr,
+            )
+    # The CI smoke gate is this exit code: 0 means every chunk ran
+    # (or replayed) cleanly AND no oracle pair disagreed on any seed.
+    return 0 if report.all_ok and aggregate["n_divergent"] == 0 else 1
+
+
+def _write_fuzz_artifacts(out_dir, spec, report, aggregate) -> None:
+    """``fuzz_report.json`` plus one shrunk spec file per divergence —
+    what the nightly CI job uploads for offline replay."""
+    path = Path(out_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "spec": {
+            "start": spec.start,
+            "stop": spec.stop,
+            "chunk": spec.chunk,
+            "oracles": list(spec.oracles),
+            "config": spec.config.to_json_dict(),
+            "caps": spec.caps.to_json_dict(),
+            "shrink": spec.shrink,
+        },
+        "summary": report.summary(),
+        "aggregate": aggregate,
+    }
+    (path / "fuzz_report.json").write_text(
+        json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+    )
+    seen = set()
+    for d in aggregate["divergences"]:
+        seed = d["seed"]
+        if seed in seen:
+            continue  # one artifact per seed, first oracle wins
+        seen.add(seed)
+        ext = "g" if d["kind"] == "stg" else "net"
+        text = d["shrunk_text"] or d["spec_text"]
+        (path / f"divergent-seed{seed}.{ext}").write_text(
+            text, encoding="utf-8"
+        )
 
 
 def build_cache_parser() -> argparse.ArgumentParser:

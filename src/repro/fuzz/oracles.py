@@ -1,0 +1,448 @@
+"""The five differential oracle pairs every scenario runs through.
+
+Each oracle compares two independent implementations that must agree;
+any disagreement is a :class:`Divergence` (a bug in one of the two, by
+construction — there is no "expected output" file anywhere):
+
+============   ====================================================
+``settle``     compiled ternary engine vs the seed's sweep-based
+               legacy settling, over random ternary states and
+               stuck-at overlays (the only kinds the legacy oracle
+               implements)
+``cssg``       explicit-exact CSSG construction vs the symbolic
+               (BDD) builder: reset, state set and edge function
+``faults``     packed fault overlays vs physically materialized
+               faulty netlists along random valid walks, for every
+               registered fault model
+``kernels``    arena walk and slab kernels vs the scalar
+               :class:`~repro.sim.batch.FaultBatch` reference,
+               detection words and packed states per step
+``incremental``  plain :func:`~repro.campaign.runner.execute_job` vs
+               the cohort-incremental path: cold byte-identity, warm
+               pure-merge identity, then a mutation with the *exact*
+               predicted cohort-reuse count and verdict replay
+============   ====================================================
+
+Oracles assert exactly the documented contracts and no more: the
+incremental oracle predicts reuse counts from cohort-key set
+intersections (the invalidation matrix in ``docs/incremental.md``)
+and requires replayed faults to keep their cached verdicts, but does
+not compare stale-fault test indices to a from-scratch run — those
+are documented to differ.
+
+Everything is deterministic in ``(scenario, caps)``: internal RNGs are
+seeded from the scenario seed, so a divergence found in CI replays
+locally from the seed alone.
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+import random
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.cohort import cohort_salt, partition
+from repro.campaign.plan import Job, job_key, source_fingerprint
+from repro.campaign.runner import execute_job, execute_job_incremental
+from repro.campaign.store import ResultStore
+from repro.circuit.faults import fault_universe, materialize_fault
+from repro.circuit.netlist import Circuit
+from repro.circuit.parser import netlist_to_text, parse_netlist
+from repro.core.atpg import AtpgOptions
+from repro.faultmodels import model_names
+from repro.fuzz.generator import Scenario
+from repro.fuzz.mutate import MUTATION_OPS, mutate_netlist
+from repro.sgraph.cssg import Cssg, build_cssg
+from repro.sgraph.symbolic import SymbolicTcsg
+from repro.sim import legacy, ternary
+from repro.sim.batch import ChunkedFaultSim, FaultBatch
+
+__all__ = [
+    "ORACLES",
+    "Divergence",
+    "OracleCaps",
+    "ScenarioReport",
+    "oracle_names",
+    "run_scenario",
+]
+
+
+@dataclass(frozen=True)
+class OracleCaps:
+    """Per-scenario effort dials (all deterministic)."""
+
+    max_faults: int = 8  #: fault-sample cap per model
+    n_states: int = 12  #: random ternary start states for ``settle``
+    walk_len: int = 8  #: CSSG walk length for fault/kernel parity
+    #: the BDD builder's cost explodes past ~13 signals; the ``cssg``
+    #: oracle skips (checks=0) on circuits wider than this
+    max_symbolic_signals: int = 12
+
+    def to_json_dict(self) -> Dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_json_dict(data: Dict) -> "OracleCaps":
+        return OracleCaps(**data)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One oracle disagreement — `detail` is self-contained enough to
+    reproduce by hand together with the scenario text."""
+
+    oracle: str
+    detail: str
+
+    def to_json_dict(self) -> Dict:
+        return {"oracle": self.oracle, "detail": self.detail}
+
+
+@dataclass
+class ScenarioReport:
+    """What one scenario's oracle battery did."""
+
+    seed: int
+    kind: str
+    checks: Dict[str, int]  #: oracle -> comparisons made (0 = skipped)
+    divergences: List[Divergence]
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "kind": self.kind,
+            "checks": dict(sorted(self.checks.items())),
+            "divergences": [d.to_json_dict() for d in self.divergences],
+        }
+
+
+class _Ctx:
+    """Shared per-scenario material (circuit + exact CSSG, built once)."""
+
+    def __init__(self, scenario: Scenario, caps: OracleCaps):
+        self.scenario = scenario
+        self.caps = caps
+        self.circuit = scenario.circuit()
+        self._cssg: Optional[Cssg] = None
+
+    @property
+    def cssg(self) -> Cssg:
+        if self._cssg is None:
+            self._cssg = build_cssg(self.circuit, method="exact")
+        return self._cssg
+
+    def fault_sample(self, model: str) -> List:
+        """A deterministic spread through the model's universe."""
+        faults = fault_universe(self.circuit, model)
+        cap = self.caps.max_faults
+        if len(faults) <= cap:
+            return list(faults)
+        stride = len(faults) / cap
+        return [faults[int(i * stride)] for i in range(cap)]
+
+
+def _tstate(rng: random.Random, n: int) -> Tuple[int, int]:
+    """A random valid ternary state (each signal 0, 1 or X)."""
+    low = high = 0
+    for i in range(n):
+        l, h = rng.choice(((1, 0), (0, 1), (1, 1)))
+        low |= l << i
+        high |= h << i
+    return (low, high)
+
+
+def _oracle_settle(ctx: _Ctx) -> Tuple[int, List[str]]:
+    c = ctx.circuit
+    rng = random.Random(f"fuzz-settle:{ctx.scenario.seed}")
+    states = [ternary.from_binary(c.require_reset(), c.n_signals)]
+    states += [_tstate(rng, c.n_signals) for _ in range(ctx.caps.n_states)]
+    faults = [None]
+    for model in ("output", "input"):  # the kinds the legacy oracle knows
+        faults.extend(ctx.fault_sample(model)[: ctx.caps.max_faults // 2])
+    checks, bad = 0, []
+    for tstate in states:
+        for fault in faults:
+            got = ternary.settle(c, tstate, fault)
+            want = legacy.settle(c, tstate, fault)
+            checks += 1
+            if got != want:
+                fj = None if fault is None else fault.to_json()
+                bad.append(
+                    f"settle({tstate}, fault={fj}): engine={got} legacy={want}"
+                )
+    return checks, bad
+
+
+def _oracle_cssg(ctx: _Ctx) -> Tuple[int, List[str]]:
+    if ctx.circuit.n_signals > ctx.caps.max_symbolic_signals:
+        return 0, []  # symbolic construction is impractically slow here
+    explicit = ctx.cssg
+    symbolic = SymbolicTcsg(ctx.circuit).build_cssg()
+    bad = []
+    if symbolic.reset != explicit.reset:
+        bad.append(f"reset: exact={explicit.reset} symbolic={symbolic.reset}")
+    if symbolic.states != explicit.states:
+        bad.append(
+            f"states: exact has {len(explicit.states)}, "
+            f"symbolic has {len(symbolic.states)}, "
+            f"diff={sorted(set(explicit.states) ^ set(symbolic.states))[:8]}"
+        )
+    if symbolic.edges != explicit.edges:
+        bad.append("edge functions differ between exact and symbolic")
+    return 3, bad
+
+
+def _oracle_faults(ctx: _Ctx) -> Tuple[int, List[str]]:
+    c = ctx.circuit
+    cssg = ctx.cssg
+    checks, bad = 0, []
+    for model in model_names():
+        for fault in ctx.fault_sample(model):
+            rng = random.Random(
+                f"fuzz-faults:{ctx.scenario.seed}:{fault.to_json()}"
+            )
+            mat = materialize_fault(c, fault)
+            via_overlay = ternary.settle_from_reset(c, cssg.reset, fault)
+            via_netlist = ternary.settle_from_reset(mat, mat.require_reset())
+            checks += 1
+            if via_overlay != via_netlist:
+                bad.append(f"{model}/{fault.describe(c)}: reset settle differs")
+                continue
+            good = cssg.reset
+            for _ in range(ctx.caps.walk_len):
+                choices = sorted(cssg.valid_patterns(good))
+                if not choices:
+                    break
+                pattern = rng.choice(choices)
+                good = cssg.edges[good][pattern]
+                via_overlay = ternary.apply_pattern(c, via_overlay, pattern, fault)
+                via_netlist = ternary.apply_pattern(mat, via_netlist, pattern)
+                checks += 1
+                if via_overlay != via_netlist:
+                    bad.append(
+                        f"{model}/{fault.describe(c)}: overlay={via_overlay} "
+                        f"materialized={via_netlist} after {pattern:b}"
+                    )
+                    break
+    return checks, bad
+
+
+def _oracle_kernels(ctx: _Ctx) -> Tuple[int, List[str]]:
+    c = ctx.circuit
+    cssg = ctx.cssg
+    faults = []
+    for model in model_names():
+        faults.extend(ctx.fault_sample(model))
+    if not faults:
+        return 0, []
+    rng = random.Random(f"fuzz-kernels:{ctx.scenario.seed}")
+    patterns = cssg.random_walk(rng, ctx.caps.walk_len)
+    trail, good = [], cssg.reset
+    for pattern in patterns:
+        good = cssg.edges[good][pattern]
+        trail.append((pattern, good))
+
+    batch = FaultBatch(c, faults)
+    state = batch.reset_and_settle(cssg.reset)
+    walk = batch.walk(cssg.reset)
+    slab = ChunkedFaultSim(c, faults).walk(cssg.reset)
+    checks, bad = 0, []
+
+    def compare(step: str, pattern=None, good_state=None) -> None:
+        nonlocal checks, state
+        if pattern is not None:
+            state = batch.apply_settled(state, pattern)
+        ref = batch.observe(state, good_state)
+        w = walk.observe(good_state) if pattern is None else walk.step(pattern, good_state)
+        s = slab.observe(good_state) if pattern is None else slab.step(pattern, good_state)
+        checks += 1
+        if w != ref or s != ref or walk.state() != state or slab.state() != state:
+            bad.append(
+                f"{step}: batch det={ref:#x} walk det={w:#x} slab det={s:#x}"
+            )
+
+    compare("reset", good_state=cssg.reset)
+    for i, (pattern, good) in enumerate(trail):
+        if bad:
+            break
+        compare(f"step{i}", pattern=pattern, good_state=good)
+    return checks, bad
+
+
+def _digest(payload: Dict) -> str:
+    doc = {
+        k: v
+        for k, v in payload.items()
+        if k not in ("cpu_seconds", "schema_version", "telemetry")
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _fault_names(circuit: Circuit, fault_json: Sequence) -> Tuple:
+    kind, gate, site, value = fault_json
+    return (kind, circuit.signal_name(gate), circuit.signal_name(site), value)
+
+
+def _oracle_incremental(ctx: _Ctx) -> Tuple[int, List[str]]:
+    if ctx.scenario.kind != "stg":
+        return 0, []  # ATPG contracts are only claimed for healthy specs
+    seed = ctx.scenario.seed
+    rng = random.Random(f"fuzz-incremental:{seed}")
+    # "output" keeps the fault universe stable under the preserving
+    # mutations (sites are gate outputs, and gates are never added).
+    # cssg_method is pinned ("auto" would hand wide synthesized circuits
+    # to the minutes-slow symbolic builder) and the search is bounded:
+    # fuzzed specs can have 6+ primary inputs, where unbounded
+    # input-change CSSGs make three-phase ATPG ~15 s per fault.
+    # Aborted-by-cap faults are deterministic, so parity still holds.
+    options = AtpgOptions(
+        fault_model="output",
+        seed=seed & 0xFFFF,
+        random_walks=4,
+        cssg_method="exact",
+        max_input_changes=1,
+        max_product_states=4000,
+    )
+    base_text = netlist_to_text(ctx.circuit)
+    checks, bad = 0, []
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-inc-") as td:
+        tmp = Path(td)
+        store = ResultStore(tmp / "cache")
+
+        def mk_job(text: str, tag: str) -> Job:
+            path = tmp / f"{tag}.net"
+            path.write_text(text)
+            fingerprint = source_fingerprint("netlist", str(path))
+            key = job_key(fingerprint, "complex", options)
+            return Job(
+                name=f"fuzz/{seed}/{tag}",
+                source_kind="netlist",
+                source=str(path),
+                style="complex",
+                seed=options.seed,
+                k=None,
+                options=options,
+                key=key,
+                group=key,
+                cost_hint=len(text),
+            )
+
+        job = mk_job(base_text, "base")
+        plain = execute_job(job).to_json_dict()
+        cold, _live, _stats = execute_job_incremental(job, store)
+        checks += 1
+        if _digest(cold) != _digest(plain):
+            bad.append("cold incremental payload != plain payload")
+        warm, live, warm_stats = execute_job_incremental(job, store)
+        checks += 1
+        if live is not None or warm_stats.cohorts_executed != 0:
+            bad.append("warm rerun was not a pure cohort merge")
+        elif _digest(warm) != _digest(plain):
+            bad.append("warm merged payload != plain payload")
+
+        op = MUTATION_OPS[rng.randrange(len(MUTATION_OPS))]
+        mutation = mutate_netlist(base_text, op, rng)
+        if mutation is None:
+            return checks, bad
+        base_c = parse_netlist(base_text)
+        mut_c = parse_netlist(mutation.text)
+        base_keys = {
+            co.key
+            for co in partition(
+                base_c,
+                fault_universe(base_c, "output"),
+                cohort_salt(base_c, "complex", options),
+            )
+        }
+        mut_cohorts = partition(
+            mut_c,
+            fault_universe(mut_c, "output"),
+            cohort_salt(mut_c, "complex", options),
+        )
+        expected_reused = sum(1 for co in mut_cohorts if co.key in base_keys)
+
+        mjob = mk_job(mutation.text, "mut")
+        merged, _mlive, mstats = execute_job_incremental(mjob, store)
+        checks += 1
+        if (
+            mstats is None
+            or mstats.cohorts_total != len(mut_cohorts)
+            or mstats.cohorts_reused != expected_reused
+        ):
+            bad.append(
+                f"{op}: predicted {expected_reused}/{len(mut_cohorts)} reused "
+                f"cohorts, runner reported "
+                f"{mstats and mstats.cohorts_reused}/{mstats and mstats.cohorts_total}"
+            )
+        universe = [f.to_json() for f in fault_universe(mut_c, "output")]
+        checks += 1
+        if merged["faults"] != universe or merged["n_total"] != len(universe):
+            bad.append(f"{op}: merged payload does not cover the mutated universe")
+        # Replayed cohorts must keep their cached verdicts verbatim
+        # (matched by name — indices may shift under a splice).
+        by_fault = {tuple(s["fault"]): s for s in merged["statuses"]}
+        base_by_name = {
+            _fault_names(base_c, s["fault"]): s for s in plain["statuses"]
+        }
+        checks += 1
+        for co in mut_cohorts:
+            if co.key not in base_keys:
+                continue
+            for fault in co.faults:
+                got = by_fault[tuple(fault.to_json())]
+                want = base_by_name.get(_fault_names(mut_c, fault.to_json()))
+                if want is None or got["status"] != want["status"]:
+                    bad.append(
+                        f"{op}: replayed fault {fault.to_json()} has status "
+                        f"{got['status']!r}, cached verdict was "
+                        f"{want and want['status']!r}"
+                    )
+                    break
+    return checks, bad
+
+
+ORACLES: Dict[str, Callable[[_Ctx], Tuple[int, List[str]]]] = {
+    "settle": _oracle_settle,
+    "cssg": _oracle_cssg,
+    "faults": _oracle_faults,
+    "kernels": _oracle_kernels,
+    "incremental": _oracle_incremental,
+}
+
+
+def oracle_names() -> Tuple[str, ...]:
+    """All oracle pair names, battery order.
+
+    >>> oracle_names()
+    ('settle', 'cssg', 'faults', 'kernels', 'incremental')
+    """
+    return tuple(ORACLES)
+
+
+def run_scenario(
+    scenario: Scenario,
+    oracles: Optional[Sequence[str]] = None,
+    caps: Optional[OracleCaps] = None,
+) -> ScenarioReport:
+    """Run ``scenario`` through the named oracle pairs (default: all)."""
+    names = tuple(oracles) if oracles else oracle_names()
+    unknown = sorted(set(names) - set(ORACLES))
+    if unknown:
+        raise ValueError(f"unknown oracles {unknown} (have {oracle_names()})")
+    ctx = _Ctx(scenario, caps or OracleCaps())
+    checks: Dict[str, int] = {}
+    divergences: List[Divergence] = []
+    for name in names:
+        n, bad = ORACLES[name](ctx)
+        checks[name] = n
+        divergences.extend(Divergence(name, detail) for detail in bad)
+    return ScenarioReport(scenario.seed, scenario.kind, checks, divergences)

@@ -31,11 +31,39 @@ from repro.stg.petrinet import Stg, StgBuilder
 _MARK_TOKEN = re.compile(r"<[^<>]+>|[^\s<>]+")
 
 
+def _marking_tokens(body: str) -> List[str]:
+    """Tokenize a ``.marking`` body, rejecting unbalanced ``<``/``>``.
+
+    ``_MARK_TOKEN`` alone would silently *drop* a stray angle bracket
+    (``<a+,b+`` tokenizes as ``a+,b+``), turning a syntax error into a
+    baffling unknown-place complaint downstream.  Any character the
+    token regex does not cover is therefore a syntax error, reported
+    with the whitespace-delimited chunk it sits in.
+    """
+    covered = bytearray(len(body))
+    tokens: List[str] = []
+    for m in _MARK_TOKEN.finditer(body):
+        tokens.append(m.group())
+        for i in range(*m.span()):
+            covered[i] = 1
+    for i, ch in enumerate(body):
+        if ch.isspace() or covered[i]:
+            continue
+        start, end = i, i
+        while start > 0 and not body[start - 1].isspace():
+            start -= 1
+        while end < len(body) and not body[end].isspace():
+            end += 1
+        raise StgError(f"unbalanced marking token {body[start:end]!r}")
+    return tokens
+
+
 def parse_stg(text: str, filename: str = "<string>") -> Stg:
     """Parse ``.g`` source text into a validated :class:`Stg`."""
     builder = StgBuilder()
     in_graph = False
     saw_marking = False
+    marking_lineno = 0
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -58,8 +86,9 @@ def parse_stg(text: str, filename: str = "<string>") -> Stg:
                 body = line[len(".marking"):].strip()
                 if not (body.startswith("{") and body.endswith("}")):
                     raise StgError(".marking expects { ... }")
-                builder.set_marking(_MARK_TOKEN.findall(body[1:-1]))
+                builder.set_marking(_marking_tokens(body[1:-1]))
                 saw_marking = True
+                marking_lineno = lineno
             elif head == ".initial":
                 values = {}
                 for tok in tokens[1:]:
@@ -88,7 +117,10 @@ def parse_stg(text: str, filename: str = "<string>") -> Stg:
     try:
         return builder.build()
     except StgError as exc:
-        raise ParseError(str(exc), filename, 0) from None
+        # Unknown-place complaints come from the marking tokens, so
+        # point at the .marking line rather than "somewhere".
+        at = marking_lineno if "marking references" in str(exc) else 0
+        raise ParseError(str(exc), filename, at) from None
 
 
 def load_stg(path) -> Stg:

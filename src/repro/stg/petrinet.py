@@ -164,6 +164,8 @@ class StgBuilder:
                   "internal": self.internal}.get(kind)
         if target is None:
             raise StgError(f"unknown signal kind {kind!r}")
+        if name in self.inputs or name in self.outputs or name in self.internal:
+            raise StgError(f"duplicate signal declaration {name!r}")
         target.append(name)
 
     def _transition(self, label: str) -> int:

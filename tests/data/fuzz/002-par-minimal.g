@@ -1,0 +1,17 @@
+.model fz4
+.inputs s0 s3
+.outputs s1 s2
+.graph
+p0 s0+
+s0+ s1+
+s1+ s2+
+s2+ s3+
+s3+ s0-
+s0- s1-
+s3+ s2-
+s1- s3-
+s2- s3-
+s3- p0
+.marking { p0 }
+.initial s0=0 s1=0 s2=0 s3=0
+.end

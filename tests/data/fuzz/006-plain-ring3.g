@@ -1,0 +1,14 @@
+.model fz5
+.inputs s0 s2
+.outputs s1
+.graph
+p0 s0+
+s0+ s1+
+s1+ s2+
+s2+ s0-
+s0- s1-
+s1- s2-
+s2- p0
+.marking { p0 }
+.initial s0=0 s1=0 s2=0
+.end

@@ -1,0 +1,11 @@
+.model fz12
+.inputs s0 s1
+.graph
+p0 s0+
+s0+ s1+
+s1+ s0-
+s0- s1-
+s1- p0
+.marking { p0 }
+.initial s0=0 s1=0
+.end

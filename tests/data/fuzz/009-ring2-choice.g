@@ -1,0 +1,23 @@
+.model fz15
+.inputs s0 c0x1 c0x2
+.outputs c0w
+.internal s1
+.graph
+p0 s0+
+s0+ s1+
+s1+ pc0
+pc0 c0x1+
+c0x1+ c0w+/1
+c0w+/1 c0x1-
+c0x1- pj1
+pc0 c0x2+
+c0x2+ c0w+/2
+c0w+/2 c0x2-
+c0x2- pj1
+pj1 s0-
+s0- c0w-
+c0w- s1-
+s1- p0
+.marking { p0 }
+.initial s0=0 s1=0 c0w=0 c0x1=0 c0x2=0
+.end

@@ -1,0 +1,16 @@
+.model fz0
+.inputs s0
+.outputs s1
+.graph
+p0 s0+
+s0+ s1+
+s1+ pm0
+pm0 s0-/1
+s0-/1 pj1
+pm0 s0-/2
+s0-/2 pj1
+pj1 s1-
+s1- p0
+.marking { p0 }
+.initial s0=0 s1=0
+.end

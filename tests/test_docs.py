@@ -18,6 +18,7 @@ DOC_FILES = [
     "docs/architecture.md",
     "docs/fault-models.md",
     "docs/formats.md",
+    "docs/fuzzing.md",
     "docs/incremental.md",
     "docs/observability.md",
     "docs/serving.md",

@@ -318,3 +318,131 @@ def test_prune_plan_reports_reclaimable_bytes_per_class(tmp_path):
     assert len(store.class_entries("results")) == 2
     empty = store.prune_plan(max_age_seconds=3600.0)
     assert empty["total"]["n_entries"] == 0
+
+
+# -- generator-driven invalidation (fuzz mutations) --------------------
+
+# Bounded options keep generated-circuit ATPG sub-second; aborted-by-cap
+# faults are deterministic, so reuse accounting is unaffected.
+FUZZ_OPTS = AtpgOptions(
+    fault_model="output",
+    random_walks=4,
+    cssg_method="exact",
+    max_input_changes=1,
+    max_product_states=4000,
+)
+
+#: Johnson-ring STG scenario with a choice block: 6 signals, 4 output
+#: cohorts, and every mutation op below hits *some but not all* cones —
+#: found by scanning seeds, pinned for determinism.
+FUZZ_SEED = 4
+
+
+def fuzz_net_text():
+    from repro.circuit.parser import netlist_to_text
+    from repro.fuzz.generator import generate_scenario
+
+    scenario = generate_scenario(FUZZ_SEED)
+    assert scenario is not None and scenario.kind == "stg"
+    return netlist_to_text(scenario.circuit())
+
+
+def keyset(net_text):
+    circuit = parse_netlist(net_text)
+    salt = cohort_salt(circuit, "complex", FUZZ_OPTS)
+    universe = fault_universe(circuit, FUZZ_OPTS.fault_model)
+    return {c.key for c in partition(circuit, universe, salt)}
+
+
+def run_incremental(net_path, store):
+    spec = CampaignSpec(
+        benchmarks=[str(net_path)],
+        fault_models=(FUZZ_OPTS.fault_model,),
+        options=FUZZ_OPTS,
+    )
+    return execute_job_incremental(expand(spec)[0], store)
+
+
+def test_generated_rename_reuse_count_matches_key_prediction(tmp_path):
+    """A rename must reuse *exactly* the cohorts whose cones never see
+    the old name — predicted ahead of time by key-set intersection."""
+    import random
+
+    from repro.fuzz.mutate import mutate_netlist
+
+    base = fuzz_net_text()
+    mutation = mutate_netlist(base, "rename", random.Random(FUZZ_SEED))
+    assert mutation is not None and mutation.preserving
+    expected_reused = len(keyset(mutation.text) & keyset(base))
+
+    net = tmp_path / "fz.net"
+    net.write_text(base)
+    store = ResultStore(tmp_path / "cache")
+    _p, _l, cold = run_incremental(net, store)
+    assert cold.cohorts_executed == cold.cohorts_total
+
+    net.write_text(mutation.text)
+    payload, _l, warm = run_incremental(net, store)
+    assert warm.cohorts_reused == expected_reused
+    assert 0 < warm.cohorts_reused < warm.cohorts_total  # partial, not trivial
+    assert warm.cohorts_executed == warm.cohorts_total - expected_reused
+    assert payload["n_total"] > 0
+
+
+def test_generated_splice_widens_cones_and_covers_new_universe(tmp_path):
+    """A fanout splice widens every cone containing the spliced
+    consumer (new keys) and changes the fault universe itself; the
+    merged payload must cover the *mutated* universe exactly."""
+    import random
+
+    from repro.fuzz.mutate import mutate_netlist
+
+    base = fuzz_net_text()
+    mutation = mutate_netlist(base, "splice", random.Random(FUZZ_SEED))
+    assert mutation is not None and not mutation.preserving
+    base_map = keys_by_site(base, FUZZ_OPTS)
+    edit_map = keys_by_site(mutation.text, FUZZ_OPTS)
+    consumer = mutation.detail
+    for cone, key in base_map.items():
+        if consumer in cone:
+            assert key not in edit_map.values()  # widened -> new key
+    expected_reused = len(set(edit_map.values()) & set(base_map.values()))
+
+    net = tmp_path / "fz.net"
+    net.write_text(base)
+    store = ResultStore(tmp_path / "cache")
+    run_incremental(net, store)
+
+    net.write_text(mutation.text)
+    payload, _l, warm = run_incremental(net, store)
+    assert warm.cohorts_reused == expected_reused
+    assert 0 < warm.cohorts_reused < warm.cohorts_total
+    universe = fault_universe(
+        parse_netlist(mutation.text), FUZZ_OPTS.fault_model
+    )
+    assert payload["n_total"] == len(universe)
+    assert len(payload["faults"]) == len(universe)
+
+
+def test_generated_rewrite_is_out_of_cone_for_unaffected_cohorts():
+    """Double-negating one gate changes keys for exactly the cones that
+    contain it; every other cone keeps its key byte-identical (the
+    out-of-cone row of the docs/incremental.md matrix)."""
+    import random
+
+    from repro.fuzz.mutate import mutate_netlist
+
+    base = fuzz_net_text()
+    mutation = mutate_netlist(base, "rewrite", random.Random(FUZZ_SEED))
+    assert mutation is not None
+    target = mutation.target
+    base_map = keys_by_site(base, FUZZ_OPTS)
+    edit_map = keys_by_site(mutation.text, FUZZ_OPTS)
+    assert set(base_map) == set(edit_map)  # same cone sets
+    touched = {cone for cone in base_map if target in cone}
+    assert touched and touched != set(base_map)
+    for cone in base_map:
+        if cone in touched:
+            assert edit_map[cone] != base_map[cone]
+        else:
+            assert edit_map[cone] == base_map[cone]

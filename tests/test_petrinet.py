@@ -98,14 +98,13 @@ def test_invalid_signal_names_rejected():
 
 
 def test_duplicate_signals_rejected():
+    # Caught at declaration time so the parser can report the line.
     b = StgBuilder("dup")
     b.add_signal("a", "input")
-    b.add_signal("a", "output")
-    b.add_arc("a+", "a-")
-    b.add_arc("a-", "a+")
-    b.set_marking(["<a-,a+>"])
     with pytest.raises(StgError, match="duplicate"):
-        b.build()
+        b.add_signal("a", "output")
+    with pytest.raises(StgError, match="duplicate"):
+        b.add_signal("a", "input")
 
 
 def test_transitions_of():

@@ -107,3 +107,43 @@ def test_initial_directive_roundtrip():
     stg = parse_stg(text)
     assert stg.initial_values == {"c": 0, "q": 1}
     assert parse_stg(stg_to_text(stg)).initial_values == {"c": 0, "q": 1}
+
+
+RING = ".graph\na+ b+\nb+ a-\na- b-\nb- a+\n"
+
+
+class TestErrorLocations:
+    """Parse errors must carry the line number and the offending token
+    (a bare "unknown place" with no location is useless on a 500-line
+    generated spec)."""
+
+    def test_duplicate_signal_same_directive(self):
+        with pytest.raises(ParseError, match=r"x\.g:1: duplicate signal declaration 'a'"):
+            parse_stg(".inputs a a\n.outputs b\n" + RING + ".marking { <b-,a+> }\n",
+                      filename="x.g")
+
+    def test_duplicate_signal_across_directives(self):
+        with pytest.raises(ParseError, match=r"x\.g:2: duplicate signal declaration 'a'"):
+            parse_stg(".inputs a\n.outputs a b\n" + RING + ".marking { <b-,a+> }\n",
+                      filename="x.g")
+
+    def test_unclosed_marking_token(self):
+        text = ".inputs a\n.outputs b\n" + RING + ".marking { <b-,a+ }\n"
+        with pytest.raises(ParseError, match=r"x\.g:8: unbalanced marking token '<b-,a\+'"):
+            parse_stg(text, filename="x.g")
+
+    def test_stray_closing_bracket_in_marking(self):
+        text = ".inputs a\n.outputs b\n" + RING + ".marking { b-,a+> }\n"
+        with pytest.raises(ParseError, match=r"x\.g:8: unbalanced marking token 'b-,a\+>'"):
+            parse_stg(text, filename="x.g")
+
+    def test_unknown_place_reports_marking_line(self):
+        text = ".inputs a\n.outputs b\n" + RING + ".marking { nowhere }\n"
+        with pytest.raises(ParseError, match=r"x\.g:8: marking references unknown place 'nowhere'"):
+            parse_stg(text, filename="x.g")
+
+    def test_balanced_marking_still_parses(self):
+        stg = parse_stg(
+            ".inputs a\n.outputs b\n" + RING + ".marking { <b-,a+> }\n"
+        )
+        assert len(stg.initial_marking) == 1
